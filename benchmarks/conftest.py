@@ -1,0 +1,84 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+The benchmarks complement the simulated-CPU experiment drivers
+(``python -m repro.bench``): pytest-benchmark measures real wall-clock
+time of this library's Python implementations (lookup loops, builds,
+fitting algorithms, simulator throughput), one bench module per paper
+artifact plus the DESIGN.md ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.config import BenchSettings
+from repro.bench.harness import build_index
+from repro.datasets import make_dataset, make_workload
+
+N_KEYS = 20_000
+N_LOOKUPS = 500
+
+
+@pytest.fixture(scope="session")
+def settings():
+    return BenchSettings(
+        n_keys=N_KEYS, n_lookups=200, warmup=80, max_configs=3
+    )
+
+
+@pytest.fixture(scope="session")
+def amzn():
+    return make_dataset("amzn", N_KEYS, seed=1)
+
+
+@pytest.fixture(scope="session")
+def osm():
+    return make_dataset("osm", N_KEYS, seed=1)
+
+
+@pytest.fixture(scope="session")
+def amzn32():
+    return make_dataset("amzn", N_KEYS, seed=1, key_bits=32)
+
+
+@pytest.fixture(scope="session")
+def workload(amzn):
+    return make_workload(amzn, N_LOOKUPS, seed=2)
+
+
+#: Mid-sweep configuration per index, used by the lookup-loop benches.
+BENCH_CONFIGS = {
+    "RMI": {"branching": 1024},
+    "PGM": {"epsilon": 64},
+    "RS": {"epsilon": 64, "radix_bits": 10},
+    "RBS": {"radix_bits": 12},
+    "BTree": {"gap": 2},
+    "IBTree": {"gap": 2},
+    "FAST": {"gap": 2},
+    "ART": {"gap": 2},
+    "FST": {"gap": 2},
+    "Wormhole": {"gap": 2},
+    "BS": {},
+    "RobinHash": {},
+}
+
+
+@pytest.fixture(scope="session")
+def built_indexes(amzn):
+    return {
+        name: build_index(amzn, name, cfg) for name, cfg in BENCH_CONFIGS.items()
+    }
+
+
+def lookup_loop(built, keys):
+    """Untraced lookup + last-mile loop; returns a checksum of positions."""
+    from repro.search.last_mile import binary_search
+
+    index = built.index
+    data = built.data
+    total = 0
+    for key in keys:
+        bound = index.lookup(key)
+        total += binary_search(data, key, bound)
+    return total

@@ -1,0 +1,27 @@
+"""Ablation: ART uniform vs adaptive sampling (paper Section 4.1.1's
+"smarter method ... left to future work")."""
+
+import pytest
+
+from repro.bench.harness import build_index
+from conftest import lookup_loop
+
+
+@pytest.mark.parametrize("sampling", ["uniform", "adaptive"])
+@pytest.mark.parametrize("dataset_fixture", ["amzn", "osm"])
+def test_art_sampling(benchmark, request, sampling, dataset_fixture):
+    ds = request.getfixturevalue(dataset_fixture)
+    built = build_index(ds, "ART", {"gap": 8, "sampling": sampling})
+    from repro.datasets import make_workload
+
+    wl = make_workload(ds, 400, seed=13)
+    checksum = benchmark(lookup_loop, built, wl.keys_py)
+    assert checksum == sum(wl.positions_py)
+
+
+def test_adaptive_shrinks_trie(osm):
+    uniform = build_index(osm, "ART", {"gap": 8, "sampling": "uniform"})
+    adaptive = build_index(osm, "ART", {"gap": 8, "sampling": "adaptive"})
+    per_u = uniform.index.size_bytes() / uniform.index._n_samples
+    per_a = adaptive.index.size_bytes() / adaptive.index._n_samples
+    assert per_a < per_u

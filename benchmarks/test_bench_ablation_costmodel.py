@@ -1,0 +1,64 @@
+"""Ablation: cost-model parameter sensitivity (DESIGN.md).
+
+The reproduction's claims are about *orderings* (who is faster at a given
+size), not absolute nanoseconds.  This bench perturbs the cost model's
+DRAM latency and MLP floor by +-30% and checks that pairwise orderings of
+representative index profiles are stable.
+"""
+
+import dataclasses
+import itertools
+
+import pytest
+
+from repro.bench.harness import measure_index
+from repro.memsim.costmodel import CostModel, XEON_GOLD_6230
+
+
+@pytest.fixture(scope="module")
+def profiles(amzn, workload):
+    configs = {
+        "RMI": {"branching": 1024},
+        "BTree": {"gap": 2},
+        "FST": {"gap": 2},
+        "BS": {},
+    }
+    return {
+        name: measure_index(amzn, workload, name, cfg, n_lookups=200)
+        for name, cfg in configs.items()
+    }
+
+
+def orderings(profiles, model: CostModel):
+    lat = {
+        name: model.latency_ns(m.counters) for name, m in profiles.items()
+    }
+    return sorted(lat, key=lat.get)
+
+
+@pytest.mark.parametrize("dram_scale", [0.7, 1.0, 1.3])
+@pytest.mark.parametrize("mlp_floor", [0.45, 0.60, 0.75])
+def test_ordering_stable(profiles, dram_scale, mlp_floor):
+    perturbed = dataclasses.replace(
+        XEON_GOLD_6230,
+        dram_ns=XEON_GOLD_6230.dram_ns * dram_scale,
+        mlp_floor=mlp_floor,
+    )
+    assert orderings(profiles, perturbed) == orderings(
+        profiles, XEON_GOLD_6230
+    )
+
+
+def test_latency_evaluation_speed(benchmark, profiles):
+    models = [
+        dataclasses.replace(XEON_GOLD_6230, dram_ns=60.0 + i)
+        for i in range(50)
+    ]
+
+    def loop():
+        return sum(
+            m.latency_ns(p.counters)
+            for m, p in itertools.product(models, profiles.values())
+        )
+
+    assert benchmark(loop) > 0

@@ -1,0 +1,22 @@
+"""Ablation: PGM epsilon per level (DESIGN.md)."""
+
+import pytest
+
+from repro.bench.harness import build_index
+from conftest import lookup_loop
+
+
+@pytest.mark.parametrize("epsilon", [8, 64, 512])
+def test_bottom_epsilon(benchmark, amzn, workload, epsilon):
+    built = build_index(amzn, "PGM", {"epsilon": epsilon})
+    checksum = benchmark(lookup_loop, built, workload.keys_py)
+    assert checksum == sum(workload.positions_py)
+
+
+@pytest.mark.parametrize("eps_internal", [2, 4, 16])
+def test_internal_epsilon(benchmark, amzn, workload, eps_internal):
+    built = build_index(
+        amzn, "PGM", {"epsilon": 64, "epsilon_internal": eps_internal}
+    )
+    checksum = benchmark(lookup_loop, built, workload.keys_py)
+    assert checksum == sum(workload.positions_py)

@@ -1,0 +1,29 @@
+"""Ablation: RMI stage-one model type and branching factor (DESIGN.md)."""
+
+import pytest
+
+from repro.bench.harness import build_index
+from conftest import lookup_loop
+
+
+@pytest.mark.parametrize("stage1", ["linear", "cubic", "loglinear", "radix"])
+def test_stage1_model_type(benchmark, amzn, workload, stage1):
+    built = build_index(amzn, "RMI", {"branching": 512, "stage1": stage1})
+    checksum = benchmark(lookup_loop, built, workload.keys_py)
+    assert checksum == sum(workload.positions_py)
+
+
+@pytest.mark.parametrize("branching", [64, 1024, 8192])
+def test_branching_factor(benchmark, amzn, workload, branching):
+    built = build_index(amzn, "RMI", {"branching": branching})
+    checksum = benchmark(lookup_loop, built, workload.keys_py)
+    assert checksum == sum(workload.positions_py)
+
+
+def test_ablation_shape_error_vs_branching(amzn):
+    """More leaves -> lower log2 error (the tradeoff CDFShop explores)."""
+    errs = [
+        build_index(amzn, "RMI", {"branching": b}).index.mean_log2_error()
+        for b in (64, 1024, 8192)
+    ]
+    assert errs == sorted(errs, reverse=True)

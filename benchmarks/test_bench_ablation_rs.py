@@ -1,0 +1,20 @@
+"""Ablation: RadixSpline radix-table width vs spline error (DESIGN.md)."""
+
+import pytest
+
+from repro.bench.harness import build_index
+from conftest import lookup_loop
+
+
+@pytest.mark.parametrize("radix_bits", [4, 10, 14])
+def test_radix_width(benchmark, amzn, workload, radix_bits):
+    built = build_index(amzn, "RS", {"epsilon": 64, "radix_bits": radix_bits})
+    checksum = benchmark(lookup_loop, built, workload.keys_py)
+    assert checksum == sum(workload.positions_py)
+
+
+@pytest.mark.parametrize("epsilon", [8, 64, 512])
+def test_spline_error(benchmark, amzn, workload, epsilon):
+    built = build_index(amzn, "RS", {"epsilon": epsilon, "radix_bits": 10})
+    checksum = benchmark(lookup_loop, built, workload.keys_py)
+    assert checksum == sum(workload.positions_py)

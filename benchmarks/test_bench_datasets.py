@@ -1,0 +1,18 @@
+"""Figure 6 companion: dataset generator throughput."""
+
+import pytest
+
+from repro.datasets.generators import GENERATORS
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_generate(benchmark, name):
+    keys = benchmark(GENERATORS[name], 20_000, 123)
+    assert len(keys) == 20_000
+
+
+def test_table1_rows(benchmark):
+    from repro.bench.experiments.table1_capabilities import rows
+
+    out = benchmark(rows)
+    assert len(out) >= 13

@@ -1,0 +1,91 @@
+"""Extension benches: updatable learned structures (DynamicPGM, ALEX)."""
+
+import random
+
+import pytest
+
+from repro.learned.alex import AlexIndex
+from repro.learned.dynamic_pgm import DynamicPGM
+
+
+@pytest.fixture(scope="module")
+def insert_workload():
+    rng = random.Random(11)
+    return [(rng.randrange(1 << 44), i) for i in range(5_000)]
+
+
+def test_dynamic_pgm_inserts(benchmark, insert_workload):
+    def run():
+        d = DynamicPGM(epsilon=32, buffer_capacity=256)
+        for key, value in insert_workload:
+            d.insert(key, value)
+        return d
+
+    d = benchmark(run)
+    assert len(d) > 4_900
+
+
+def test_alex_inserts(benchmark, insert_workload):
+    def run():
+        alex = AlexIndex(n_buckets=128, target_node_keys=256)
+        for key, value in insert_workload:
+            alex.insert(key, value)
+        return alex
+
+    alex = benchmark(run)
+    assert len(alex) > 4_900
+
+
+def test_dynamic_pgm_gets(benchmark, insert_workload):
+    d = DynamicPGM(epsilon=32, buffer_capacity=256)
+    for key, value in insert_workload:
+        d.insert(key, value)
+    keys = [k for k, _ in insert_workload[:1_000]]
+
+    def run():
+        return sum(d.get(k) is not None for k in keys)
+
+    assert benchmark(run) == 1_000
+
+
+def test_alex_gets(benchmark, insert_workload):
+    alex = AlexIndex(n_buckets=128, target_node_keys=256)
+    for key, value in insert_workload:
+        alex.insert(key, value)
+    keys = [k for k, _ in insert_workload[:1_000]]
+
+    def run():
+        return sum(alex.get(k) is not None for k in keys)
+
+    assert benchmark(run) == 1_000
+
+
+@pytest.mark.parametrize("index_name", ["RMI3", "FITing"])
+def test_extension_index_lookups(benchmark, amzn, workload, index_name):
+    from repro.bench.harness import build_index
+    from conftest import lookup_loop
+
+    config = {
+        "RMI3": {"branching": 1024, "mid_branching": 32},
+        "FITing": {"epsilon": 64},
+    }[index_name]
+    built = build_index(amzn, index_name, config)
+    checksum = benchmark(lookup_loop, built, workload.keys_py)
+    assert checksum == sum(workload.positions_py)
+
+
+def test_vectorized_pla_speedup(amzn):
+    """The vectorized fit must beat the reference by a wide margin."""
+    import time
+
+    from repro.learned.fitting_fast import fit_pla_fast
+    from repro.learned.pla import fit_pla
+
+    start = time.perf_counter()
+    fast = fit_pla_fast(amzn.keys, 32.0)
+    fast_s = time.perf_counter() - start
+    start = time.perf_counter()
+    ref = fit_pla(amzn.keys.tolist(), 32.0)
+    ref_s = time.perf_counter() - start
+    assert len(fast) == len(ref)
+    assert fast_s < ref_s

@@ -1,0 +1,22 @@
+"""Extension bench: mixed read/write throughput per store."""
+
+import pytest
+
+from repro.bench.readwrite import default_stores, make_mixed_workload, run_mixed
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {
+        mix: make_mixed_workload(1_500, mix, n_preload=3_000, seed=17)
+        for mix in (0.95, 0.05)
+    }
+
+
+@pytest.mark.parametrize("mix", [0.95, 0.05], ids=["read95", "read05"])
+@pytest.mark.parametrize("store_name", sorted(default_stores()))
+def test_mixed_throughput(benchmark, workloads, store_name, mix):
+    factory = default_stores()[store_name]
+    wl = workloads[mix]
+    result = benchmark(run_mixed, store_name, factory, wl)
+    assert result.reads_hit >= 0

@@ -1,0 +1,25 @@
+"""Figure 10 companion: 32-bit vs 64-bit key lookup loops."""
+
+import pytest
+
+from repro.bench.harness import build_index
+from repro.datasets import make_dataset, make_workload
+from conftest import lookup_loop
+
+CONFIGS = {
+    "RMI": {"branching": 512},
+    "RS": {"epsilon": 64, "radix_bits": 10},
+    "PGM": {"epsilon": 64},
+    "BTree": {"gap": 2},
+    "FAST": {"gap": 2},
+}
+
+
+@pytest.mark.parametrize("bits", [64, 32])
+@pytest.mark.parametrize("index_name", sorted(CONFIGS))
+def test_keysize_lookup_loop(benchmark, bits, index_name):
+    ds = make_dataset("amzn", 15_000, seed=8, key_bits=bits)
+    wl = make_workload(ds, 300, seed=9)
+    built = build_index(ds, index_name, CONFIGS[index_name])
+    checksum = benchmark(lookup_loop, built, wl.keys_py)
+    assert checksum == sum(wl.positions_py)

@@ -1,0 +1,26 @@
+"""Figure 11 companion: last-mile search function loops."""
+
+import pytest
+
+from repro.bench.harness import build_index
+from repro.datasets import make_workload
+from repro.search.last_mile import SEARCH_FUNCTIONS
+
+
+@pytest.mark.parametrize("search", sorted(SEARCH_FUNCTIONS))
+@pytest.mark.parametrize("dataset_fixture", ["amzn", "osm"])
+def test_last_mile_loop(benchmark, request, search, dataset_fixture):
+    ds = request.getfixturevalue(dataset_fixture)
+    wl = make_workload(ds, 400, seed=10)
+    built = build_index(ds, "RS", {"epsilon": 128, "radix_bits": 8})
+    index, data = built.index, built.data
+    fn = SEARCH_FUNCTIONS[search]
+
+    def loop():
+        total = 0
+        for key in wl.keys_py:
+            total += fn(data, key, index.lookup(key))
+        return total
+
+    checksum = benchmark(loop)
+    assert checksum == sum(wl.positions_py)

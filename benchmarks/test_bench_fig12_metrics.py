@@ -1,0 +1,48 @@
+"""Figure 12 companion: traced measurement (simulator) throughput.
+
+The counter-collection pipeline is what every experiment driver runs; its
+wall-clock cost determines how large the paper-shape sweeps can be.
+"""
+
+import pytest
+
+from repro.bench.harness import build_index, measure
+from repro.memsim import PerfTracer
+
+
+@pytest.mark.parametrize("index_name", ["RMI", "BTree"])
+def test_traced_measurement(benchmark, amzn, workload, index_name):
+    config = {"RMI": {"branching": 512}, "BTree": {"gap": 2}}[index_name]
+    built = build_index(amzn, index_name, config)
+    m = benchmark(
+        measure, built, workload, n_lookups=150, warmup=50
+    )
+    assert m.latency_ns > 0
+
+
+def test_cache_simulator_throughput(benchmark):
+    """Raw simulator speed: accesses per second through all three levels."""
+    from repro.memsim.cache import CacheHierarchy
+
+    addrs = [(i * 4049) % (1 << 22) for i in range(4_000)]
+
+    def loop():
+        h = CacheHierarchy()
+        total = 0
+        for a in addrs:
+            total += h.access_addr(a)
+        return total
+
+    assert benchmark(loop) > 0
+
+
+def test_branch_predictor_throughput(benchmark):
+    from repro.memsim.branch import BranchPredictor
+
+    outcomes = [(i * 7) % 3 == 0 for i in range(5_000)]
+
+    def loop():
+        p = BranchPredictor()
+        return sum(p.predict_and_update("s", t) for t in outcomes)
+
+    assert benchmark(loop) >= 0

@@ -1,0 +1,31 @@
+"""Figure 13 companion: fitting-as-compression throughput.
+
+The compression view judges learned indexes by (size, log2 error); the
+cost of producing that compression is the fitting algorithms themselves.
+"""
+
+import pytest
+
+from repro.learned.pla import fit_pla
+from repro.learned.spline import fit_spline
+
+
+@pytest.mark.parametrize("epsilon", [16.0, 128.0])
+def test_fit_pla(benchmark, amzn, epsilon):
+    keys = amzn.keys.tolist()
+    segs = benchmark(fit_pla, keys, epsilon)
+    assert segs
+
+
+@pytest.mark.parametrize("epsilon", [16.0, 128.0])
+def test_fit_spline(benchmark, amzn, epsilon):
+    keys = amzn.keys.tolist()
+    knots = benchmark(fit_spline, keys, epsilon)
+    assert len(knots) >= 2
+
+
+def test_compression_ratio_shape(amzn, osm):
+    """Non-benchmark sanity: osm needs more segments per epsilon (paper)."""
+    segs_amzn = len(fit_pla(amzn.keys.tolist(), 64.0))
+    segs_osm = len(fit_pla(osm.keys.tolist(), 64.0))
+    assert segs_osm > segs_amzn

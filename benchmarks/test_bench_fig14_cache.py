@@ -1,0 +1,15 @@
+"""Figure 14 companion: warm vs cold traced lookups."""
+
+import pytest
+
+from repro.bench.harness import build_index, measure
+
+
+@pytest.mark.parametrize("warm", [True, False], ids=["warm", "cold"])
+def test_cache_state_measurement(benchmark, amzn, workload, warm):
+    built = build_index(amzn, "RMI", {"branching": 512})
+    m = benchmark(
+        measure, built, workload, n_lookups=120, warmup=60, warm=warm
+    )
+    assert m.warm is warm
+    assert m.latency_ns > 0

@@ -1,0 +1,40 @@
+"""Figure 15 companion: fence/no-fence cost-model evaluation."""
+
+import pytest
+
+from repro.memsim.costmodel import XEON_GOLD_6230
+from repro.memsim.counters import PerfCountersF
+
+
+@pytest.mark.parametrize("fence", [False, True], ids=["nofence", "fence"])
+def test_cost_model_evaluation(benchmark, fence):
+    profiles = [
+        PerfCountersF(
+            instructions=30.0 + i,
+            branch_misses=float(i % 5),
+            l1_hits=4.0,
+            l2_hits=1.0,
+            llc_misses=2.0 + (i % 3),
+        )
+        for i in range(2_000)
+    ]
+
+    def loop():
+        return sum(
+            XEON_GOLD_6230.latency_ns(c, fence=fence) for c in profiles
+        )
+
+    total = benchmark(loop)
+    assert total > 0
+
+
+def test_fence_shape_holds(amzn, workload):
+    """Non-benchmark check of the Figure 15 headline: RMI's fence slowdown
+    exceeds BTree's."""
+    from repro.bench.harness import measure_index
+
+    rmi = measure_index(amzn, workload, "RMI", {"branching": 512}, n_lookups=150)
+    btree = measure_index(amzn, workload, "BTree", {"gap": 2}, n_lookups=150)
+    rmi_slow = rmi.fence_latency_ns / rmi.latency_ns
+    btree_slow = btree.fence_latency_ns / btree.latency_ns
+    assert rmi_slow > btree_slow

@@ -1,0 +1,27 @@
+"""Figure 17 companion: real wall-clock build times per index."""
+
+import pytest
+
+from repro.bench.harness import build_index
+from conftest import BENCH_CONFIGS
+
+BUILDS = [
+    "PGM",
+    "RS",
+    "RMI",
+    "RBS",
+    "ART",
+    "BTree",
+    "IBTree",
+    "FAST",
+    "FST",
+    "Wormhole",
+    "RobinHash",
+]
+
+
+@pytest.mark.parametrize("index_name", BUILDS)
+def test_build(benchmark, amzn, index_name):
+    config = BENCH_CONFIGS[index_name]
+    built = benchmark(build_index, amzn, index_name, config)
+    assert built.index.size_bytes() >= 0

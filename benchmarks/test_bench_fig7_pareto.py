@@ -1,0 +1,32 @@
+"""Figure 7 companion: wall-clock lookup loops for every index.
+
+The simulated-ns version is ``python -m repro.bench --experiment fig7``;
+this measures the same lookup loops in real Python time.
+"""
+
+import pytest
+
+from conftest import BENCH_CONFIGS, lookup_loop
+
+FIG7 = ["RMI", "PGM", "RS", "RBS", "ART", "BTree", "IBTree", "FAST", "BS"]
+
+
+@pytest.mark.parametrize("index_name", FIG7)
+def test_lookup_loop(benchmark, built_indexes, workload, index_name):
+    built = built_indexes[index_name]
+    keys = workload.keys_py
+    checksum = benchmark(lookup_loop, built, keys)
+    # Validity cross-check: the loop's position checksum matches ground truth.
+    assert checksum == sum(workload.positions_py)
+
+
+def test_pareto_front_computation(benchmark, built_indexes, workload):
+    """Pareto analysis itself must be cheap even for many points."""
+    from repro.core.pareto import ParetoPoint, pareto_front
+
+    points = [
+        ParetoPoint(f"i{i}", (i * 37) % 1000 + 1, float((i * 61) % 500) + 1.0)
+        for i in range(5_000)
+    ]
+    front = benchmark(pareto_front, points)
+    assert front

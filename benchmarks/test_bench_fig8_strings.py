@@ -1,0 +1,12 @@
+"""Figure 8 companion: string-structure (FST, Wormhole) lookup loops."""
+
+import pytest
+
+from conftest import lookup_loop
+
+
+@pytest.mark.parametrize("index_name", ["FST", "Wormhole", "RMI", "BTree"])
+def test_string_structure_lookups(benchmark, built_indexes, workload, index_name):
+    built = built_indexes[index_name]
+    checksum = benchmark(lookup_loop, built, workload.keys_py)
+    assert checksum == sum(workload.positions_py)

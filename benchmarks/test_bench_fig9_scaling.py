@@ -1,0 +1,23 @@
+"""Figure 9 companion: lookup loops across dataset scales."""
+
+import pytest
+
+from repro.bench.harness import build_index
+from repro.datasets import make_dataset, make_workload
+from conftest import lookup_loop
+
+
+@pytest.mark.parametrize("scale", [1, 2, 4])
+@pytest.mark.parametrize("index_name", ["RMI", "PGM", "RS", "BTree"])
+def test_scaling_lookup_loop(benchmark, scale, index_name):
+    ds = make_dataset("amzn", 10_000 * scale, seed=6)
+    wl = make_workload(ds, 300, seed=7)
+    config = {
+        "RMI": {"branching": 512},
+        "PGM": {"epsilon": 64},
+        "RS": {"epsilon": 64, "radix_bits": 10},
+        "BTree": {"gap": 2},
+    }[index_name]
+    built = build_index(ds, index_name, config)
+    checksum = benchmark(lookup_loop, built, wl.keys_py)
+    assert checksum == sum(wl.positions_py)

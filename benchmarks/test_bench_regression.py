@@ -1,0 +1,16 @@
+"""Section 4.3 companion: OLS analysis throughput."""
+
+import numpy as np
+
+from repro.bench.stats import ols
+
+
+def test_ols(benchmark):
+    rng = np.random.default_rng(0)
+    n = 5_000
+    x1 = rng.normal(size=n)
+    x2 = rng.normal(size=n)
+    x3 = rng.normal(size=n)
+    y = 1.0 + 2.0 * x1 + 0.5 * x2 - 1.5 * x3 + rng.normal(scale=0.1, size=n)
+    r = benchmark(ols, {"a": x1, "b": x2, "c": x3}, y)
+    assert r.r_squared > 0.99

@@ -1,0 +1,38 @@
+"""Table 2 companion: hash-table point lookups on 32-bit amzn."""
+
+import pytest
+
+from repro.bench.harness import build_index
+from repro.datasets import make_workload
+
+
+@pytest.fixture(scope="module")
+def hash_setup(amzn32):
+    wl = make_workload(amzn32, 500, seed=5, mode="present")
+    return amzn32, wl
+
+
+@pytest.mark.parametrize("index_name", ["CuckooMap", "RobinHash"])
+def test_hash_point_lookups(benchmark, hash_setup, index_name):
+    ds, wl = hash_setup
+    built = build_index(ds, index_name, {})
+    index = built.index
+
+    def loop():
+        total = 0
+        for key in wl.keys_py:
+            total += index.lookup(key).lo
+        return total
+
+    checksum = benchmark(loop)
+    assert checksum == sum(wl.positions_py)
+
+
+def test_rmi_comparison_point(benchmark, hash_setup):
+    """The RMI row of Table 2 (fastest ordered structure)."""
+    from conftest import lookup_loop
+
+    ds, wl = hash_setup
+    built = build_index(ds, "RMI", {"branching": 2048})
+    checksum = benchmark(lookup_loop, built, wl.keys_py)
+    assert checksum == sum(wl.positions_py)

@@ -1,0 +1,51 @@
+"""Quickstart: build a learned index, look up keys, measure it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import make_dataset, make_index, make_workload, validate_index
+from repro.bench import measure_index
+from repro.memsim import AddressSpace, TracedArray
+from repro.search import binary_search
+
+
+def main() -> None:
+    # 1. A dataset: 100k keys shaped like Amazon book-popularity data.
+    dataset = make_dataset("amzn", 100_000, seed=0)
+    print(f"dataset: {dataset.name}, {dataset.n} unique sorted uint64 keys")
+
+    # 2. Build an RMI over it.  The address space ties the index and the
+    #    data into one simulated memory for the cache experiments; for
+    #    plain use you can just pass the key array.
+    space = AddressSpace()
+    data = TracedArray.allocate(space, dataset.keys, name="data")
+    rmi = make_index("RMI", branching=4096).build(data, space)
+    print(f"RMI: {rmi.size_mb():.3f} MB, built in {rmi.build_seconds:.3f}s")
+
+    # 3. Look up a key: the index returns a search bound, the last-mile
+    #    search pins down the exact position.
+    key = int(dataset.keys[12_345])
+    bound = rmi.lookup(key)
+    position = binary_search(data, key, bound)
+    print(f"key {key}: bound [{bound.lo}, {bound.hi}) -> position {position}")
+    assert position == 12_345
+
+    # 4. Indexes must be valid for *any* key, present or not.
+    workload = make_workload(dataset, 2_000, mode="mixed")
+    failure = validate_index(rmi, workload.keys_py)
+    print(f"validity check over 2000 mixed keys: {failure or 'OK'}")
+
+    # 5. Measure it on the simulated CPU: per-lookup counters + estimated
+    #    nanoseconds, the way every figure of the paper is reproduced.
+    m = measure_index(dataset, workload, "RMI", {"branching": 4096},
+                      n_lookups=500)
+    c = m.counters
+    print(
+        f"measured: {m.latency_ns:.0f} ns/lookup | "
+        f"{c.instructions:.0f} instructions, {c.llc_misses:.2f} cache misses, "
+        f"{c.branch_misses:.2f} branch misses per lookup"
+    )
+
+
+if __name__ == "__main__":
+    main()

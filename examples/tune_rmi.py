@@ -1,0 +1,49 @@
+"""Scenario: auto-tune an RMI for your own data (CDFShop, Section 4.1).
+
+The paper tunes every RMI with the CDFShop optimizer.  This example runs
+the re-implemented tuner on a dataset you pick, prints the explored
+Pareto frontier of (size, log2 error), and verifies the chosen
+configuration end to end.
+
+Run:  python examples/tune_rmi.py [dataset]
+"""
+
+import sys
+
+from repro import make_dataset, make_workload, validate_index
+from repro.learned.cdfshop import tune_rmi
+from repro.memsim import AddressSpace, TracedArray
+
+
+def main(dataset_name: str = "osm") -> None:
+    dataset = make_dataset(dataset_name, 80_000, seed=2)
+    print(f"tuning RMI on {dataset_name} ({dataset.n} keys)...\n")
+
+    configs = tune_rmi(
+        dataset.keys,
+        max_branching_power=14,
+        min_branching_power=6,
+    )
+    print(f"{'stage1':10s} {'branching':>9s} {'size KB':>9s} {'log2 err':>9s}")
+    for cfg in configs:
+        print(
+            f"{cfg.stage1:10s} {cfg.branching:9d} "
+            f"{cfg.size_bytes / 1024:9.1f} {cfg.mean_log2_error:9.2f}"
+        )
+
+    # Pick the most accurate config that stays under 64 KB.
+    fitting = [c for c in configs if c.size_bytes <= 64 * 1024]
+    chosen = min(fitting, key=lambda c: c.mean_log2_error)
+    print(f"\nchosen: {chosen.stage1} x {chosen.branching} "
+          f"({chosen.size_bytes / 1024:.1f} KB)")
+
+    space = AddressSpace()
+    data = TracedArray.allocate(space, dataset.keys, name="data")
+    rmi = chosen.build(data, space)
+    workload = make_workload(dataset, 2_000, mode="mixed")
+    failure = validate_index(rmi, workload.keys_py)
+    print(f"validity over 2000 mixed lookups: {failure or 'OK'}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "osm")

@@ -1,0 +1,47 @@
+"""repro (pylis): a Python reproduction of "Benchmarking Learned Indexes".
+
+Marcus, Kipf, van Renen, Stoian, Misra, Kemper, Neumann, Kraska
+(VLDB 2020 / arXiv:2006.12804) -- learned and traditional index
+structures over sorted in-memory integer arrays, benchmarked on a
+simulated CPU/memory substrate.
+
+Quickstart::
+
+    from repro import make_index, make_dataset, make_workload
+    from repro.bench import measure_index
+
+    ds = make_dataset("amzn", 100_000)
+    wl = make_workload(ds, 1_000)
+    m = measure_index(ds, wl, "RMI", {"branching": 1024})
+    print(m.latency_ns, m.size_mb, m.counters.llc_misses)
+"""
+
+from repro.core import (
+    Capabilities,
+    SearchBound,
+    SortedDataIndex,
+    available_indexes,
+    get_index_class,
+    make_index,
+    pareto_front,
+    validate_index,
+)
+from repro.datasets import Dataset, Workload, make_dataset, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SearchBound",
+    "SortedDataIndex",
+    "Capabilities",
+    "make_index",
+    "get_index_class",
+    "available_indexes",
+    "pareto_front",
+    "validate_index",
+    "Dataset",
+    "Workload",
+    "make_dataset",
+    "make_workload",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Benchmark harness: traced measurement, machine models, experiment drivers."""
+
+from repro.bench.config import BenchSettings
+from repro.bench.harness import (
+    BuiltIndex,
+    Measurement,
+    build_index,
+    measure,
+    measure_index,
+)
+from repro.bench.multithread import MachineModel, ThroughputPoint, throughput
+from repro.bench.stats import RegressionResult, ols
+
+__all__ = [
+    "BenchSettings",
+    "BuiltIndex",
+    "Measurement",
+    "build_index",
+    "measure",
+    "measure_index",
+    "MachineModel",
+    "ThroughputPoint",
+    "throughput",
+    "RegressionResult",
+    "ols",
+]

@@ -1,0 +1,149 @@
+"""CLI: regenerate any table or figure of the paper.
+
+Examples
+--------
+::
+
+    python -m repro.bench --experiment fig7
+    python -m repro.bench --experiment table2 --n-keys 100000
+    python -m repro.bench --experiment all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.config import BenchSettings
+from repro.bench.experiments import EXPERIMENTS
+from repro.datasets.loader import DATASET_NAMES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the tables and figures of "
+        "'Benchmarking Learned Indexes' (VLDB 2020) on the simulated CPU.",
+    )
+    parser.add_argument(
+        "--experiment",
+        default="all",
+        help=f"one of {', '.join(sorted(EXPERIMENTS))}, or 'all'",
+    )
+    parser.add_argument("--n-keys", type=int, default=None)
+    parser.add_argument("--n-lookups", type=int, default=None)
+    parser.add_argument("--warmup", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        choices=DATASET_NAMES,
+        default=None,
+    )
+    parser.add_argument("--indexes", nargs="+", default=None)
+    parser.add_argument("--max-configs", type=int, default=None)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small preset (40k keys, 250 lookups, 4 configs per sweep)",
+    )
+    parser.add_argument(
+        "--save-measurements",
+        metavar="PATH",
+        default=None,
+        help="after running, dump every collected measurement to PATH "
+        "(.json or .csv)",
+    )
+    parser.add_argument(
+        "--save-svg",
+        metavar="DIR",
+        default=None,
+        help="after running, render Figure-7-style SVG plots (one per "
+        "dataset) from the collected measurements into DIR",
+    )
+    return parser
+
+
+def settings_from_args(args) -> BenchSettings:
+    settings = BenchSettings.quick() if args.quick else BenchSettings()
+    for field_name, arg in (
+        ("n_keys", args.n_keys),
+        ("n_lookups", args.n_lookups),
+        ("warmup", args.warmup),
+        ("seed", args.seed),
+        ("datasets", args.datasets),
+        ("indexes", args.indexes),
+        ("max_configs", args.max_configs),
+    ):
+        if arg is not None:
+            setattr(settings, field_name, arg)
+    return settings
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    settings = settings_from_args(args)
+    if args.experiment == "all":
+        chosen = list(EXPERIMENTS)
+    elif args.experiment in EXPERIMENTS:
+        chosen = [args.experiment]
+    else:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"known: {', '.join(sorted(EXPERIMENTS))}, all",
+            file=sys.stderr,
+        )
+        return 2
+    for exp_id in chosen:
+        start = time.perf_counter()
+        report = EXPERIMENTS[exp_id](settings)
+        elapsed = time.perf_counter() - start
+        print(f"{'=' * 72}\n[{exp_id}] ({elapsed:.1f}s)\n{'=' * 72}")
+        print(report)
+        print()
+    if args.save_measurements:
+        from repro.bench.experiments import common
+        from repro.bench.export import write_measurements
+
+        count = write_measurements(
+            args.save_measurements, common._MEASUREMENTS.values()
+        )
+        print(f"saved {count} measurements to {args.save_measurements}")
+    if args.save_svg:
+        _save_svgs(args.save_svg)
+    return 0
+
+
+def _save_svgs(directory: str) -> None:
+    import os
+
+    from repro.bench.experiments import common
+    from repro.bench.svgplot import pareto_figure
+
+    os.makedirs(directory, exist_ok=True)
+    grouped = {}
+    for m in common._MEASUREMENTS.values():
+        if m.warm and m.search == "binary" and m.key_bits == 64:
+            grouped.setdefault(m.dataset, []).append(m)
+    for dataset, ms in sorted(grouped.items()):
+        baseline = next(
+            (x.latency_ns for x in ms if x.index == "BS"), None
+        )
+        plottable = [x for x in ms if x.index != "BS" and x.size_bytes > 0]
+        if not plottable:
+            continue
+        path = os.path.join(directory, f"pareto_{dataset}.svg")
+        with open(path, "w") as f:
+            f.write(
+                pareto_figure(
+                    plottable,
+                    title=f"Size vs lookup time — {dataset}",
+                    baseline_ns=baseline,
+                )
+            )
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""Compare two saved measurement files (regression tracking).
+
+A benchmark repo lives or dies by noticing drift: after a change, run
+``python -m repro.bench --experiment all --save-measurements new.json``
+and compare against a stored baseline::
+
+    python -m repro.bench.compare baseline.json new.json --threshold 0.05
+
+Measurements are matched on (dataset, index, config, search, warm,
+key_bits); the report lists latency changes beyond the threshold and any
+configurations that appeared or disappeared.  Because the simulator is
+deterministic, *any* latency change reflects a code change, not noise —
+the threshold exists for intentional-but-small recalibrations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.bench.export import read_measurement_records
+
+_KEY_FIELDS = ("dataset", "index", "config", "search", "warm", "key_bits")
+
+
+def _record_key(record: dict) -> Tuple:
+    return tuple(str(record.get(f)) for f in _KEY_FIELDS)
+
+
+@dataclass
+class Delta:
+    key: Tuple
+    baseline_ns: float
+    current_ns: float
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline_ns <= 0:
+            return float("inf")
+        return self.current_ns / self.baseline_ns
+
+    def describe(self) -> str:
+        dataset, index, config, *_ = self.key
+        direction = "slower" if self.ratio > 1 else "faster"
+        return (
+            f"{index} on {dataset} {config}: "
+            f"{self.baseline_ns:.0f} -> {self.current_ns:.0f} ns "
+            f"({abs(self.ratio - 1) * 100:.1f}% {direction})"
+        )
+
+
+@dataclass
+class Comparison:
+    regressions: List[Delta]
+    improvements: List[Delta]
+    unchanged: int
+    only_in_baseline: List[Tuple]
+    only_in_current: List[Tuple]
+
+    @property
+    def clean(self) -> bool:
+        return not self.regressions and not self.only_in_baseline
+
+
+def compare_files(
+    baseline_path: str, current_path: str, threshold: float = 0.02
+) -> Comparison:
+    """Diff two measurement dumps; threshold is a latency ratio margin."""
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    baseline = {_record_key(r): r for r in read_measurement_records(baseline_path)}
+    current = {_record_key(r): r for r in read_measurement_records(current_path)}
+
+    regressions: List[Delta] = []
+    improvements: List[Delta] = []
+    unchanged = 0
+    for key in sorted(set(baseline) & set(current)):
+        delta = Delta(
+            key,
+            float(baseline[key]["latency_ns"]),
+            float(current[key]["latency_ns"]),
+        )
+        if delta.ratio > 1 + threshold:
+            regressions.append(delta)
+        elif delta.ratio < 1 - threshold:
+            improvements.append(delta)
+        else:
+            unchanged += 1
+    regressions.sort(key=lambda d: -d.ratio)
+    improvements.sort(key=lambda d: d.ratio)
+    return Comparison(
+        regressions=regressions,
+        improvements=improvements,
+        unchanged=unchanged,
+        only_in_baseline=sorted(set(baseline) - set(current)),
+        only_in_current=sorted(set(current) - set(baseline)),
+    )
+
+
+def format_comparison(comparison: Comparison, limit: int = 20) -> str:
+    lines = []
+    if comparison.regressions:
+        lines.append(f"REGRESSIONS ({len(comparison.regressions)}):")
+        lines.extend(
+            "  " + d.describe() for d in comparison.regressions[:limit]
+        )
+    if comparison.improvements:
+        lines.append(f"improvements ({len(comparison.improvements)}):")
+        lines.extend(
+            "  " + d.describe() for d in comparison.improvements[:limit]
+        )
+    if comparison.only_in_baseline:
+        lines.append(
+            f"missing from current run: {len(comparison.only_in_baseline)} "
+            "configurations"
+        )
+    if comparison.only_in_current:
+        lines.append(
+            f"new in current run: {len(comparison.only_in_current)} "
+            "configurations"
+        )
+    lines.append(f"unchanged within threshold: {comparison.unchanged}")
+    lines.append("clean" if comparison.clean else "NOT CLEAN")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compare",
+        description="Diff two --save-measurements dumps; exit 1 on regressions.",
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.02)
+    parser.add_argument("--limit", type=int, default=20)
+    args = parser.parse_args(argv)
+    comparison = compare_files(args.baseline, args.current, args.threshold)
+    print(format_comparison(comparison, args.limit))
+    return 0 if comparison.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

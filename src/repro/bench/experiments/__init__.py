@@ -1,0 +1,50 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each module exposes ``run(settings: BenchSettings) -> str`` returning the
+harness's text report.  ``EXPERIMENTS`` maps the ids used by the CLI
+(``python -m repro.bench --experiment fig7``) to those callables.
+"""
+
+from repro.bench.experiments import (
+    ext_learned_variants,
+    ext_readwrite,
+    ext_skew,
+    fig6_cdfs,
+    fig7_pareto,
+    fig8_strings,
+    fig9_scaling,
+    fig10_keysize,
+    fig11_search,
+    fig12_metrics,
+    fig13_compression,
+    fig14_cold_cache,
+    fig15_fences,
+    fig16_multithread,
+    fig17_build_times,
+    sec43_regression,
+    table1_capabilities,
+    table2_fastest,
+)
+
+EXPERIMENTS = {
+    "table1": table1_capabilities.run,
+    "fig6": fig6_cdfs.run,
+    "fig7": fig7_pareto.run,
+    "fig8": fig8_strings.run,
+    "table2": table2_fastest.run,
+    "fig9": fig9_scaling.run,
+    "fig10": fig10_keysize.run,
+    "fig11": fig11_search.run,
+    "fig12": fig12_metrics.run,
+    "sec4.3": sec43_regression.run,
+    "fig13": fig13_compression.run,
+    "fig14": fig14_cold_cache.run,
+    "fig15": fig15_fences.run,
+    "fig16": fig16_multithread.run,
+    "fig17": fig17_build_times.run,
+    "ext1": ext_learned_variants.run,
+    "ext2": ext_skew.run,
+    "ext3": ext_readwrite.run,
+}
+
+__all__ = ["EXPERIMENTS"]

@@ -1,0 +1,107 @@
+"""Shared plumbing for the per-figure experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.config import BenchSettings, sweep_configs
+from repro.bench.harness import Measurement, measure_index
+from repro.core.registry import get_index_class
+from repro.datasets.loader import Dataset, make_dataset
+from repro.datasets.workload import Workload, make_workload
+
+#: The index set of the paper's Figure 7.
+FIG7_INDEXES = ["RMI", "PGM", "RS", "RBS", "ART", "BTree", "IBTree", "FAST"]
+
+_MEASUREMENTS: Dict[Tuple, Measurement] = {}
+_WORKLOADS: Dict[Tuple, Workload] = {}
+
+
+def dataset_and_workload(
+    name: str, settings: BenchSettings, key_bits: int = 64
+) -> Tuple[Dataset, Workload]:
+    """Dataset + present-key workload, both memoized per process."""
+    ds = make_dataset(name, settings.n_keys, seed=settings.seed, key_bits=key_bits)
+    wl_key = (name, ds.n, settings.seed, key_bits, settings.n_lookups)
+    if wl_key not in _WORKLOADS:
+        lookups = max(settings.n_lookups + settings.warmup, 1)
+        _WORKLOADS[wl_key] = make_workload(ds, lookups, seed=settings.seed + 1)
+    return ds, _WORKLOADS[wl_key]
+
+
+def cached_measure(
+    dataset: Dataset,
+    workload: Workload,
+    index_name: str,
+    config: dict,
+    settings: BenchSettings,
+    warm: bool = True,
+    search: str = "binary",
+) -> Measurement:
+    """Measure once per unique configuration per process."""
+    key = (
+        dataset.name,
+        dataset.n,
+        dataset.key_bits,
+        index_name,
+        tuple(sorted(config.items())),
+        settings.n_lookups,
+        warm,
+        search,
+    )
+    if key not in _MEASUREMENTS:
+        _MEASUREMENTS[key] = measure_index(
+            dataset,
+            workload,
+            index_name,
+            config,
+            n_lookups=settings.n_lookups,
+            warmup=settings.warmup,
+            warm=warm,
+            search=search,
+        )
+    return _MEASUREMENTS[key]
+
+
+def sweep(
+    dataset: Dataset,
+    workload: Workload,
+    index_name: str,
+    settings: BenchSettings,
+    warm: bool = True,
+    search: str = "binary",
+    max_configs: Optional[int] = None,
+) -> List[Measurement]:
+    """Measure an index across its size sweep."""
+    cls = get_index_class(index_name)
+    limit = max_configs if max_configs is not None else settings.max_configs
+    results = []
+    for config in sweep_configs(cls, dataset.n, limit):
+        results.append(
+            cached_measure(
+                dataset, workload, index_name, config, settings, warm, search
+            )
+        )
+    return results
+
+
+def fastest(measurements: List[Measurement]) -> Measurement:
+    """The lowest-latency configuration of a sweep (the paper's 'fastest variant')."""
+    if not measurements:
+        raise ValueError("empty sweep")
+    return min(measurements, key=lambda m: m.latency_ns)
+
+
+def closest_to_size(
+    measurements: List[Measurement], target_bytes: float
+) -> Measurement:
+    """The sweep configuration whose footprint is closest to a target."""
+    if not measurements:
+        raise ValueError("empty sweep")
+    return min(measurements, key=lambda m: abs(m.size_bytes - target_bytes))
+
+
+def clear_caches() -> None:
+    """Reset memoized measurements (mainly for tests)."""
+    _MEASUREMENTS.clear()
+    _WORKLOADS.clear()

@@ -1,0 +1,49 @@
+"""Extension experiment: mixed read/write workloads.
+
+The benchmark the paper's conclusion asks for: updatable learned
+structures (DynamicPGM, ALEX) against an update-optimized traditional
+B+-tree, a hash map, and the sorted-array strawman, across read/write
+mixes.  Throughput is real wall-clock (all contestants pay the same
+interpreter tax).
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import BenchSettings
+from repro.bench.readwrite import default_stores, make_mixed_workload, run_mixed
+from repro.bench.report import format_table
+
+MIXES = (0.95, 0.50, 0.05)  # read fractions: read-heavy ... write-heavy
+
+
+def run(settings: BenchSettings) -> str:
+    n_ops = max(settings.n_lookups * 10, 2_000)
+    n_preload = max(settings.n_keys // 20, 1_000)
+    stores = default_stores()
+    if settings.indexes:
+        stores = {k: v for k, v in stores.items() if k in settings.indexes}
+
+    workloads = {
+        mix: make_mixed_workload(
+            n_ops,
+            mix,
+            n_preload=n_preload,
+            seed=settings.seed,
+        )
+        for mix in MIXES
+    }
+    rows = []
+    for name, factory in stores.items():
+        cells = [name]
+        for mix in MIXES:
+            result = run_mixed(name, factory, workloads[mix])
+            cells.append(f"{result.ops_per_sec / 1000:.0f}")
+        rows.append(tuple(cells))
+
+    header = ["store"] + [f"{int(m * 100)}% reads (kops/s)" for m in MIXES]
+    return (
+        "Extension: mixed read/write workloads "
+        f"(wall-clock, {n_preload} preloaded keys, {n_ops} ops, zipf reads)\n\n"
+        + format_table(header, rows)
+        + "\n\nnote: wall-clock Python throughput; relative ordering is the result."
+    )

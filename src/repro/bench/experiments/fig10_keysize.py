@@ -1,0 +1,35 @@
+"""Figure 10: 32-bit vs 64-bit keys on amzn.
+
+The paper's finding: learned structures (which compute on 64-bit floats
+regardless) barely change, while trees gain from packing twice as many
+keys per cache line -- FAST doubly so, because each SIMD comparison also
+covers twice the keys.
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import BenchSettings
+from repro.bench.experiments.common import dataset_and_workload, sweep
+from repro.bench.report import format_table
+
+INDEXES = ["RMI", "RS", "PGM", "BTree", "FAST"]
+
+
+def run(settings: BenchSettings) -> str:
+    parts = ["Figure 10: key size (32 vs 64 bit), amzn\n"]
+    for index_name in settings.indexes or INDEXES:
+        rows = []
+        for bits in (64, 32):
+            ds, wl = dataset_and_workload("amzn", settings, key_bits=bits)
+            for m in sweep(ds, wl, index_name, settings):
+                rows.append(
+                    (
+                        f"{bits}-bit",
+                        f"{m.size_mb:.4f}",
+                        f"{m.latency_ns:.0f}",
+                    )
+                )
+        parts.append(f"index={index_name}")
+        parts.append(format_table(["keys", "size MB", "lookup ns"], rows))
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,40 @@
+"""Figure 11: last-mile search functions (binary / linear / interpolation).
+
+The paper finds binary always beats linear, and interpolation ~matches
+binary on the smooth amzn but loses on the erratic osm.  This doubles as
+the ablation bench for the last-mile design choice (DESIGN.md Section 5).
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import BenchSettings
+from repro.bench.experiments.common import dataset_and_workload, sweep
+from repro.bench.report import format_table
+from repro.search.last_mile import SEARCH_FUNCTIONS
+
+INDEXES = ["RMI", "PGM", "RS"]
+DATASETS = ["amzn", "osm"]
+
+
+def run(settings: BenchSettings) -> str:
+    parts = ["Figure 11: last-mile search technique comparison\n"]
+    for ds_name in [d for d in DATASETS if d in settings.datasets] or DATASETS:
+        ds, wl = dataset_and_workload(ds_name, settings)
+        rows = []
+        for index_name in settings.indexes or INDEXES:
+            for search in SEARCH_FUNCTIONS:
+                for m in sweep(ds, wl, index_name, settings, search=search):
+                    rows.append(
+                        (
+                            m.index,
+                            search,
+                            f"{m.size_mb:.4f}",
+                            f"{m.latency_ns:.0f}",
+                        )
+                    )
+        parts.append(f"dataset={ds_name}")
+        parts.append(
+            format_table(["index", "search", "size MB", "lookup ns"], rows)
+        )
+        parts.append("")
+    return "\n".join(parts)

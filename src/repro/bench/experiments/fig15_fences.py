@@ -1,0 +1,41 @@
+"""Figure 15: memory fences.
+
+With a fence, memory stalls of one lookup cannot overlap the next
+lookup's computation.  The paper finds RMI and RS (few instructions, so
+much to gain from reordering) slow down ~50% while BTree/FAST/PGM barely
+move -- the cost model reproduces that coupling through its
+instruction-count-dependent overlap factor.
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import BenchSettings
+from repro.bench.experiments.common import dataset_and_workload, sweep
+from repro.bench.report import format_table
+
+INDEXES = ["RMI", "RS", "PGM", "BTree", "FAST"]
+
+
+def run(settings: BenchSettings) -> str:
+    ds, wl = dataset_and_workload("amzn", settings)
+    parts = ["Figure 15: memory fence impact, amzn\n"]
+    for index_name in settings.indexes or INDEXES:
+        rows = []
+        for m in sweep(ds, wl, index_name, settings):
+            slowdown = m.fence_latency_ns / max(m.latency_ns, 1e-9)
+            rows.append(
+                (
+                    f"{m.size_mb:.4f}",
+                    f"{m.latency_ns:.0f}",
+                    f"{m.fence_latency_ns:.0f}",
+                    f"{slowdown:.2f}x",
+                )
+            )
+        parts.append(f"index={index_name}")
+        parts.append(
+            format_table(
+                ["size MB", "no fence ns", "fence ns", "slowdown"], rows
+            )
+        )
+        parts.append("")
+    return "\n".join(parts)

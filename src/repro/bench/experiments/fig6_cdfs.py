@@ -1,0 +1,47 @@
+"""Figure 6: CDF shape of each testing dataset.
+
+The paper plots the CDFs; a text harness prints deciles of the normalized
+key range plus the local-roughness statistics that distinguish the
+datasets (osm's erratic local structure, face's outliers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.config import BenchSettings
+from repro.bench.report import format_series, format_table
+from repro.datasets.loader import make_dataset
+
+
+def dataset_summary(name: str, settings: BenchSettings) -> dict:
+    ds = make_dataset(name, settings.n_keys, seed=settings.seed)
+    keys = ds.keys.astype(np.float64)
+    lo, hi = keys[0], keys[-1]
+    deciles = [
+        float((keys[int(q * (len(keys) - 1))] - lo) / max(hi - lo, 1.0))
+        for q in np.linspace(0, 1, 11)
+    ]
+    stats = ds.stats()
+    return {"name": name, "deciles": deciles, **stats}
+
+
+def run(settings: BenchSettings) -> str:
+    parts = ["Figure 6: dataset CDFs (normalized key at each position decile)\n"]
+    rows = []
+    for name in settings.datasets:
+        s = dataset_summary(name, settings)
+        parts.append(
+            format_series(
+                f"{name}: normalized key value at position decile 0..100%",
+                [(f"{10 * i}%", d) for i, d in enumerate(s["deciles"])],
+            )
+        )
+        rows.append((name, s["n"], s["mean_gap"], s["gap_cv"], s["max_gap"]))
+    parts.append("")
+    parts.append(
+        format_table(
+            ["dataset", "keys", "mean gap", "gap CV", "max gap"], rows
+        )
+    )
+    return "\n".join(parts)

@@ -1,0 +1,39 @@
+"""Figure 8: string-oriented structures (FST, Wormhole) on integer data.
+
+The paper's finding: structures whose optimizations assume expensive key
+comparisons (FST's byte-per-level navigation, Wormhole's prefix hashing)
+are pure overhead on single-instruction integer comparisons, and lose to
+even binary search.
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import BenchSettings
+from repro.bench.experiments.common import (
+    cached_measure,
+    dataset_and_workload,
+    sweep,
+)
+from repro.bench.report import format_table
+
+INDEXES = ["RMI", "BTree", "FST", "Wormhole"]
+DATASETS = ["amzn", "face"]
+
+
+def run(settings: BenchSettings) -> str:
+    parts = ["Figure 8: structures designed for strings, on integer keys\n"]
+    for ds_name in [d for d in DATASETS if d in settings.datasets] or DATASETS:
+        ds, wl = dataset_and_workload(ds_name, settings)
+        bs = cached_measure(ds, wl, "BS", {}, settings)
+        rows = []
+        for index_name in INDEXES:
+            for m in sweep(ds, wl, index_name, settings):
+                rows.append(
+                    (m.index, f"{m.size_mb:.4f}", f"{m.latency_ns:.0f}")
+                )
+        parts.append(
+            f"dataset={ds_name}  (binary search baseline: {bs.latency_ns:.0f} ns)"
+        )
+        parts.append(format_table(["index", "size MB", "lookup ns"], rows))
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,44 @@
+"""Figure 9: performance / size tradeoffs across dataset sizes.
+
+The paper scales amzn from 200M to 800M keys and finds learned structures
+slow down only logarithmically (one extra binary-search step per
+doubling).  We scale the synthetic amzn by the same 1x..4x factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.bench.config import BenchSettings
+from repro.bench.experiments.common import dataset_and_workload, sweep
+from repro.bench.report import format_table
+
+INDEXES = ["RMI", "PGM", "RS", "BTree"]
+SCALES = (1, 2, 3, 4)
+
+
+def run(settings: BenchSettings) -> str:
+    parts = [
+        "Figure 9: dataset-size scaling on amzn "
+        f"(sizes {[settings.n_keys * s for s in SCALES]}; the paper's 200M-800M)\n"
+    ]
+    for index_name in settings.indexes or INDEXES:
+        rows = []
+        for scale in SCALES:
+            scaled = replace(settings, n_keys=settings.n_keys * scale)
+            ds, wl = dataset_and_workload("amzn", scaled)
+            for m in sweep(ds, wl, index_name, scaled):
+                rows.append(
+                    (
+                        f"{scale}x",
+                        ds.n,
+                        f"{m.size_mb:.4f}",
+                        f"{m.latency_ns:.0f}",
+                    )
+                )
+        parts.append(f"index={index_name}")
+        parts.append(
+            format_table(["scale", "keys", "size MB", "lookup ns"], rows)
+        )
+        parts.append("")
+    return "\n".join(parts)

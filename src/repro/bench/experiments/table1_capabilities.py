@@ -1,0 +1,41 @@
+"""Table 1: search techniques evaluated and their capabilities."""
+
+from __future__ import annotations
+
+from repro.bench.config import BenchSettings
+from repro.bench.report import format_table
+from repro.core.registry import available_indexes, get_index_class
+
+#: Paper's presentation order.
+_ORDER = [
+    "PGM",
+    "RS",
+    "RMI",
+    "BTree",
+    "IBTree",
+    "FAST",
+    "ART",
+    "FST",
+    "Wormhole",
+    "CuckooMap",
+    "RobinHash",
+    "RBS",
+    "BS",
+]
+
+
+def rows():
+    names = [n for n in _ORDER if n in available_indexes()]
+    names += [n for n in available_indexes() if n not in names]
+    out = []
+    for name in names:
+        caps = get_index_class(name).capabilities
+        out.append(
+            (name, "Yes" if caps.updates else "No", "Yes" if caps.ordered else "No", caps.kind)
+        )
+    return out
+
+
+def run(settings: BenchSettings) -> str:
+    table = format_table(["Method", "Updates", "Ordered", "Type"], rows())
+    return "Table 1: search techniques evaluated\n\n" + table

@@ -1,0 +1,37 @@
+"""Table 2: fastest variant of each index vs hashing, 32-bit amzn.
+
+The paper compares the lowest-latency configuration of every structure
+against CuckooMap (32-bit keys only) and RobinHash on a 32-bit amzn
+dataset: hashes win on latency at a large memory cost.
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import BenchSettings
+from repro.bench.experiments.common import (
+    cached_measure,
+    dataset_and_workload,
+    fastest,
+    sweep,
+)
+from repro.bench.report import format_table
+
+SWEPT = ["PGM", "RS", "RMI", "BTree", "IBTree", "FAST"]
+HASHES = ["CuckooMap", "RobinHash"]
+
+
+def run(settings: BenchSettings) -> str:
+    ds, wl = dataset_and_workload("amzn", settings, key_bits=32)
+    rows = []
+    for index_name in SWEPT:
+        m = fastest(sweep(ds, wl, index_name, settings))
+        rows.append((m.index, f"{m.latency_ns:.2f} ns", f"{m.size_mb:.3f} MB"))
+    bs = cached_measure(ds, wl, "BS", {}, settings)
+    rows.append(("BS", f"{bs.latency_ns:.2f} ns", "0.0 MB"))
+    for index_name in HASHES:
+        m = cached_measure(ds, wl, index_name, {}, settings)
+        rows.append((m.index, f"{m.latency_ns:.2f} ns", f"{m.size_mb:.3f} MB"))
+    return (
+        "Table 2: fastest variant of each index vs hashing (amzn, 32-bit)\n\n"
+        + format_table(["Method", "Time", "Size"], rows)
+    )

@@ -1,0 +1,87 @@
+"""Machine-readable export of harness measurements.
+
+Experiment drivers print human-readable tables; pipelines (plotting,
+regression dashboards, CI tracking) want rows.  ``measurement_record``
+flattens a :class:`~repro.bench.harness.Measurement` into plain JSON-able
+scalars; ``write_measurements`` dumps a list to JSON or CSV by file
+extension.  The CLI exposes this as ``--save-measurements PATH``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+
+from typing import Iterable, List
+
+from repro.bench.harness import Measurement
+
+_COUNTER_FIELDS = (
+    "instructions",
+    "branches",
+    "branch_misses",
+    "reads",
+    "l1_hits",
+    "l2_hits",
+    "l3_hits",
+    "llc_misses",
+    "tlb_misses",
+)
+
+
+def measurement_record(m: Measurement) -> dict:
+    """Flatten one measurement into JSON-able scalars."""
+    record = {
+        "index": m.index,
+        "dataset": m.dataset,
+        "config": json.dumps(m.config, sort_keys=True),
+        "n_keys": m.n_keys,
+        "size_bytes": m.size_bytes,
+        "size_mb": m.size_mb,
+        "build_seconds": m.build_seconds,
+        "latency_ns": m.latency_ns,
+        "fence_latency_ns": m.fence_latency_ns,
+        "avg_log2_bound": m.avg_log2_bound,
+        "n_lookups": m.n_lookups,
+        "warm": m.warm,
+        "search": m.search,
+    }
+    for name in _COUNTER_FIELDS:
+        record[name] = getattr(m.counters, name)
+    return record
+
+
+def write_measurements(path: str, measurements: Iterable[Measurement]) -> int:
+    """Write measurements to ``path`` (.json or .csv); returns row count.
+
+    JSON output is a list of objects; CSV has one header row.  Unknown
+    extensions raise ``ValueError``.
+    """
+    records: List[dict] = [measurement_record(m) for m in measurements]
+    lower = path.lower()
+    if lower.endswith(".json"):
+        with open(path, "w") as f:
+            json.dump(records, f, indent=1, sort_keys=True)
+    elif lower.endswith(".csv"):
+        with open(path, "w", newline="") as f:
+            if records:
+                writer = csv.DictWriter(f, fieldnames=list(records[0]))
+                writer.writeheader()
+                writer.writerows(records)
+    else:
+        raise ValueError(
+            f"unsupported extension for {path!r}: use .json or .csv"
+        )
+    return len(records)
+
+
+def read_measurement_records(path: str) -> List[dict]:
+    """Read back records written by :func:`write_measurements`."""
+    lower = path.lower()
+    if lower.endswith(".json"):
+        with open(path) as f:
+            return json.load(f)
+    if lower.endswith(".csv"):
+        with open(path, newline="") as f:
+            return list(csv.DictReader(f))
+    raise ValueError(f"unsupported extension for {path!r}")

@@ -1,0 +1,232 @@
+"""Measurement harness: run traced lookup loops over the simulated CPU.
+
+This is the analogue of the paper's timed lookup loop: build the index in
+a fresh simulated address space (data array, payload array, index
+internals), replay a workload through the index + last-mile search +
+payload read, and collect per-lookup performance counters.  The cost
+model converts counters to estimated nanoseconds.
+
+Lookup results are verified against ground truth on every measured lookup
+(the paper sums payloads for the same reason): a structure that returned
+an invalid bound fails the measurement instead of producing garbage
+numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.registry import make_index
+from repro.core.interface import SortedDataIndex
+from repro.datasets.loader import Dataset
+from repro.datasets.workload import Workload
+from repro.memsim.costmodel import XEON_GOLD_6230, CostModel
+from repro.memsim.counters import PerfCountersF
+from repro.memsim.memory import AddressSpace, TracedArray
+from repro.memsim.tracer import PerfTracer
+from repro.search.last_mile import SEARCH_FUNCTIONS
+
+#: Instruction charge for the per-lookup loop body (increment, compare,
+#: accumulate payload sum).
+_LOOP_INSTR = 4
+
+
+class LookupError_(AssertionError):
+    """A measured lookup returned the wrong position."""
+
+
+@dataclass
+class BuiltIndex:
+    """An index built into a simulated address space alongside its data."""
+
+    index: SortedDataIndex
+    data: TracedArray
+    payloads: TracedArray
+    space: AddressSpace
+    dataset: Dataset
+    config: dict = field(default_factory=dict)
+
+
+@dataclass
+class Measurement:
+    """Per-lookup averages for one (index config, workload) pair."""
+
+    index: str
+    dataset: str
+    config: dict
+    n_keys: int
+    size_bytes: int
+    build_seconds: float
+    counters: PerfCountersF
+    latency_ns: float
+    fence_latency_ns: float
+    avg_log2_bound: float
+    n_lookups: int
+    warm: bool = True
+    search: str = "binary"
+    key_bits: int = 64
+
+    @property
+    def size_mb(self) -> float:
+        return self.size_bytes / (1024.0 * 1024.0)
+
+
+def build_index(
+    dataset: Dataset,
+    index_name: str,
+    config: Optional[dict] = None,
+) -> BuiltIndex:
+    """Build an index over a dataset in a fresh simulated address space."""
+    config = dict(config or {})
+    space = AddressSpace()
+    dtype = np.uint32 if dataset.key_bits == 32 else np.uint64
+    data = TracedArray.allocate(
+        space, dataset.keys.astype(dtype), name="data"
+    )
+    payloads = TracedArray.allocate(space, dataset.payloads, name="payloads")
+    index = make_index(index_name, **config).build(data, space)
+    return BuiltIndex(index, data, payloads, space, dataset, config)
+
+
+def measure(
+    built: BuiltIndex,
+    workload: Workload,
+    n_lookups: int = 1000,
+    warmup: int = 300,
+    warm: bool = True,
+    search: str = "binary",
+    cost_model: CostModel = XEON_GOLD_6230,
+    verify: bool = True,
+) -> Measurement:
+    """Replay a workload through the index on the simulated CPU.
+
+    ``warm=False`` reproduces the paper's cold-cache experiment: caches
+    and TLB are flushed before every measured lookup (the branch predictor
+    stays warm, matching the paper's method of flushing only the cache).
+    """
+    index = built.index
+    data = built.data
+    payloads = built.payloads
+    search_fn = SEARCH_FUNCTIONS[search]
+    tracer = PerfTracer()
+    n = len(data)
+    keys = workload.keys_py
+    truths = workload.positions_py
+    n_work = len(keys)
+    point_only = index.point_only
+
+    def one_lookup(i: int, check: bool) -> float:
+        key = keys[i % n_work]
+        bound = index.lookup(key, tracer)
+        pos = search_fn(data, key, bound, tracer)
+        tracer.instr(_LOOP_INSTR)
+        if pos < n:
+            payloads.touch(pos, tracer)
+        if check:
+            truth = truths[i % n_work]
+            ok = pos == truth or (point_only and truth >= n)
+            if not ok:
+                raise LookupError_(
+                    f"{index.name}: key {key} -> position {pos}, "
+                    f"expected {truth} (bound [{bound.lo}, {bound.hi}))"
+                )
+        return math.log2(len(bound)) if len(bound) > 0 else 0.0
+
+    for i in range(min(warmup, max(n_work, 1))):
+        one_lookup(i, False)
+
+    base = tracer.snapshot()
+    log2_sum = 0.0
+    for i in range(n_lookups):
+        if not warm:
+            tracer.flush_caches()
+        log2_sum += one_lookup(warmup + i, verify)
+    counters = (tracer.snapshot() - base).per_lookup(n_lookups)
+
+    return Measurement(
+        index=index.name,
+        dataset=built.dataset.name,
+        config=built.config,
+        n_keys=n,
+        size_bytes=index.size_bytes(),
+        build_seconds=index.build_seconds,
+        counters=counters,
+        latency_ns=cost_model.latency_ns(counters, fence=False),
+        fence_latency_ns=cost_model.latency_ns(counters, fence=True),
+        avg_log2_bound=log2_sum / max(n_lookups, 1),
+        n_lookups=n_lookups,
+        warm=warm,
+        search=search,
+        key_bits=built.dataset.key_bits,
+    )
+
+
+def measure_index(
+    dataset: Dataset,
+    workload: Workload,
+    index_name: str,
+    config: Optional[dict] = None,
+    **measure_kwargs,
+) -> Measurement:
+    """Convenience: build + measure in one call."""
+    built = build_index(dataset, index_name, config)
+    return measure(built, workload, **measure_kwargs)
+
+
+@dataclass
+class RepeatedMeasurement:
+    """Chunked measurement with dispersion (error bars for figures)."""
+
+    measurement: Measurement  # aggregate over all chunks
+    chunk_latencies_ns: list
+
+    @property
+    def mean_latency_ns(self) -> float:
+        return sum(self.chunk_latencies_ns) / len(self.chunk_latencies_ns)
+
+    @property
+    def std_latency_ns(self) -> float:
+        mean = self.mean_latency_ns
+        var = sum((x - mean) ** 2 for x in self.chunk_latencies_ns) / max(
+            len(self.chunk_latencies_ns) - 1, 1
+        )
+        return var**0.5
+
+
+def measure_repeated(
+    built: BuiltIndex,
+    workload: Workload,
+    n_chunks: int = 5,
+    chunk_lookups: int = 300,
+    warmup: int = 300,
+    cost_model: CostModel = XEON_GOLD_6230,
+    **measure_kwargs,
+) -> RepeatedMeasurement:
+    """Measure in chunks over one warm run; report per-chunk dispersion.
+
+    The simulator is deterministic given a workload, so dispersion here
+    reflects genuine workload heterogeneity (different keys hit different
+    structure regions), not timer noise.
+    """
+    chunks = []
+    for i in range(n_chunks):
+        # Each chunk measures a different slice of the workload (the
+        # measured window starts after `warmup` lookups).
+        m = measure(
+            built,
+            workload,
+            n_lookups=chunk_lookups,
+            warmup=warmup + i * chunk_lookups,
+            cost_model=cost_model,
+            **measure_kwargs,
+        )
+        chunks.append(m)
+    total = chunks[-1]
+    return RepeatedMeasurement(
+        measurement=total,
+        chunk_latencies_ns=[c.latency_ns for c in chunks],
+    )

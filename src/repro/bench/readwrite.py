@@ -1,0 +1,192 @@
+"""Mixed read/write workload harness (the paper's proposed follow-on).
+
+"Hence, we believe our benchmark can ... serve as a foundation to develop
+benchmarks for mixed read/write workloads and the next generation of
+learned index structures which supports writes" (paper Section 1).  This
+module is that foundation: YCSB-style operation streams (configurable
+read fraction, uniform or Zipfian key popularity) driven through any
+key-value store exposing ``insert(key, value)`` / ``get(key)``.
+
+Measurements here are **real wall-clock throughput** of the Python
+implementations -- every competitor pays the same interpreter tax, so the
+relative numbers are meaningful (unlike single-lookup nanoseconds, which
+is why the read-only experiments use the simulated CPU instead).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+#: An operation: ("read", key) or ("insert", key, value).
+Operation = Tuple
+
+
+@dataclass
+class MixedWorkload:
+    """A reproducible operation stream over an integer key space."""
+
+    operations: List[Operation]
+    preload: List[Tuple[int, int]]
+    read_fraction: float
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.operations)
+
+
+def make_mixed_workload(
+    n_ops: int,
+    read_fraction: float,
+    n_preload: int = 10_000,
+    key_space: int = 1 << 40,
+    distribution: str = "zipf",
+    zipf_theta: float = 0.99,
+    seed: int = 0,
+) -> MixedWorkload:
+    """YCSB-style stream: reads target (mostly) existing keys, inserts new ones.
+
+    ``distribution`` picks how read keys are drawn from the inserted
+    population: ``zipf`` (skewed, YCSB default) or ``uniform``.
+    """
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError("read_fraction must be in [0, 1]")
+    if distribution not in ("zipf", "uniform"):
+        raise ValueError("distribution must be 'zipf' or 'uniform'")
+    rng = np.random.default_rng(seed)
+
+    preload_keys = np.unique(
+        rng.integers(0, key_space, size=int(n_preload * 1.1), dtype=np.int64)
+    )[:n_preload]
+    rng.shuffle(preload_keys)
+    preload = [(int(k), i) for i, k in enumerate(preload_keys)]
+
+    known: List[int] = [k for k, _ in preload]
+    operations: List[Operation] = []
+    is_read = rng.random(n_ops) < read_fraction
+    if distribution == "zipf":
+        # Zipf ranks over the growing key population, capped lazily.
+        weights = 1.0 / np.power(
+            np.arange(1, n_preload + n_ops + 1, dtype=np.float64), zipf_theta
+        )
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        ranks = np.searchsorted(cdf, rng.random(n_ops))
+    else:
+        ranks = rng.integers(0, n_preload + n_ops, size=n_ops)
+
+    next_value = n_preload
+    for i in range(n_ops):
+        if is_read[i] and known:
+            rank = int(ranks[i]) % len(known)
+            operations.append(("read", known[rank]))
+        else:
+            key = int(rng.integers(0, key_space))
+            operations.append(("insert", key, next_value))
+            known.append(key)
+            next_value += 1
+    return MixedWorkload(operations, preload, read_fraction)
+
+
+@dataclass
+class MixedResult:
+    store: str
+    read_fraction: float
+    n_ops: int
+    seconds: float
+    reads_hit: int
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.n_ops / self.seconds if self.seconds > 0 else float("inf")
+
+
+def run_mixed(
+    name: str,
+    store_factory: Callable[[], object],
+    workload: MixedWorkload,
+) -> MixedResult:
+    """Preload a fresh store, replay the stream, time it end to end."""
+    store = store_factory()
+    for key, value in workload.preload:
+        store.insert(key, value)
+
+    operations = workload.operations
+    hits = 0
+    start = time.perf_counter()
+    for op in operations:
+        if op[0] == "read":
+            if store.get(op[1]) is not None:
+                hits += 1
+        else:
+            store.insert(op[1], op[2])
+    seconds = time.perf_counter() - start
+    return MixedResult(
+        store=name,
+        read_fraction=workload.read_fraction,
+        n_ops=len(operations),
+        seconds=seconds,
+        reads_hit=hits,
+    )
+
+
+# -- reference stores -----------------------------------------------------
+
+
+class DictStore:
+    """Hash-map baseline (no order, no range scans)."""
+
+    def __init__(self):
+        self._d: Dict[int, int] = {}
+
+    def insert(self, key: int, value: int) -> None:
+        self._d[key] = value
+
+    def get(self, key: int):
+        return self._d.get(key)
+
+
+class SortedArrayStore:
+    """Sorted array with bisect: O(log n) reads, O(n) inserts.
+
+    The strawman that motivates every other structure here.
+    """
+
+    def __init__(self):
+        import bisect
+
+        self._bisect = bisect
+        self._keys: List[int] = []
+        self._values: List[int] = []
+
+    def insert(self, key: int, value: int) -> None:
+        pos = self._bisect.bisect_left(self._keys, key)
+        if pos < len(self._keys) and self._keys[pos] == key:
+            self._values[pos] = value
+        else:
+            self._keys.insert(pos, key)
+            self._values.insert(pos, value)
+
+    def get(self, key: int):
+        pos = self._bisect.bisect_left(self._keys, key)
+        if pos < len(self._keys) and self._keys[pos] == key:
+            return self._values[pos]
+        return None
+
+
+def default_stores() -> Dict[str, Callable[[], object]]:
+    """The harness's standard contestants."""
+    from repro.learned.alex import AlexIndex
+    from repro.learned.dynamic_pgm import DynamicPGM
+    from repro.traditional.btree_dynamic import DynamicBTree
+
+    return {
+        "DynamicPGM": lambda: DynamicPGM(epsilon=32, buffer_capacity=256),
+        "ALEX": lambda: AlexIndex(n_buckets=256, target_node_keys=256),
+        "BTree": lambda: DynamicBTree(fanout=32),
+        "SortedArray": SortedArrayStore,
+        "Dict": DictStore,
+    }

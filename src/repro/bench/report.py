@@ -1,0 +1,45 @@
+"""Plain-text reporting helpers for experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width text table (right-aligned numerics, left-aligned text)."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_series(title: str, pairs: Iterable[Sequence]) -> str:
+    """A named (x, y, ...) series, one point per line."""
+    lines = [title]
+    for pair in pairs:
+        lines.append("  " + "  ".join(_fmt(v) for v in pair))
+    return "\n".join(lines)
+
+
+def bullet_list(items: Iterable[str]) -> str:
+    return "\n".join(f"  * {item}" for item in items)

@@ -1,0 +1,270 @@
+"""Dependency-free SVG scatter/line plots for measurement data.
+
+The paper's figures are log-x scatter plots of (size, latency) per index.
+matplotlib is not a dependency of this library, so this module renders
+the same plots as standalone SVG files using nothing but the standard
+library -- enough to eyeball a reproduced figure next to the paper's.
+
+Typical use::
+
+    from repro.bench.svgplot import pareto_figure
+    svg = pareto_figure(measurements, title="amzn")
+    open("fig7_amzn.svg", "w").write(svg)
+
+or from the CLI: ``python -m repro.bench --experiment fig7 --save-svg DIR``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.bench.harness import Measurement
+
+#: Okabe-Ito colour-blind-safe palette.
+_PALETTE = (
+    "#0072B2",
+    "#D55E00",
+    "#009E73",
+    "#CC79A7",
+    "#E69F00",
+    "#56B4E9",
+    "#F0E442",
+    "#000000",
+    "#999999",
+)
+
+_WIDTH, _HEIGHT = 640, 420
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 70, 160, 40, 50
+
+
+def _nice_log_ticks(lo: float, hi: float) -> List[float]:
+    if lo <= 0:
+        lo = 1e-6
+    start = math.floor(math.log10(lo))
+    stop = math.ceil(math.log10(hi))
+    return [10.0**e for e in range(start, stop + 1)]
+
+
+def _nice_linear_ticks(lo: float, hi: float, n: int = 6) -> List[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    raw_step = (hi - lo) / n
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for mult in (1, 2, 5, 10):
+        step = mult * magnitude
+        if step >= raw_step:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + 1e-9:
+        ticks.append(value)
+        value += step
+    return ticks
+
+
+def _fmt_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if value >= 1000 or value < 0.01:
+        exponent = int(round(math.log10(abs(value))))
+        if abs(value - 10.0**exponent) / value < 1e-9:
+            return f"1e{exponent}"
+    if value >= 10:
+        return f"{value:.0f}"
+    if value >= 1:
+        return f"{value:g}"
+    return f"{value:g}"
+
+
+class SvgCanvas:
+    """Minimal SVG builder with a log-x / linear-y data transform."""
+
+    def __init__(
+        self,
+        x_range: Tuple[float, float],
+        y_range: Tuple[float, float],
+        title: str,
+        x_label: str,
+        y_label: str,
+    ):
+        self.x_lo, self.x_hi = x_range
+        self.y_lo, self.y_hi = y_range
+        self._parts: List[str] = []
+        self._plot_w = _WIDTH - _MARGIN_L - _MARGIN_R
+        self._plot_h = _HEIGHT - _MARGIN_T - _MARGIN_B
+        self._emit_frame(title, x_label, y_label)
+
+    # -- transforms ---------------------------------------------------------
+
+    def x_px(self, x: float) -> float:
+        x = max(x, 1e-12)
+        span = math.log10(self.x_hi) - math.log10(self.x_lo)
+        frac = (math.log10(x) - math.log10(self.x_lo)) / max(span, 1e-9)
+        return _MARGIN_L + frac * self._plot_w
+
+    def y_px(self, y: float) -> float:
+        span = self.y_hi - self.y_lo
+        frac = (y - self.y_lo) / max(span, 1e-9)
+        return _MARGIN_T + (1.0 - frac) * self._plot_h
+
+    # -- primitives ----------------------------------------------------------
+
+    def _emit_frame(self, title: str, x_label: str, y_label: str) -> None:
+        p = self._parts
+        p.append(
+            f'<rect x="{_MARGIN_L}" y="{_MARGIN_T}" width="{self._plot_w}" '
+            f'height="{self._plot_h}" fill="white" stroke="#333"/>'
+        )
+        p.append(
+            f'<text x="{_WIDTH // 2}" y="22" text-anchor="middle" '
+            f'font-size="15" font-weight="bold">{title}</text>'
+        )
+        p.append(
+            f'<text x="{_MARGIN_L + self._plot_w / 2}" y="{_HEIGHT - 12}" '
+            f'text-anchor="middle" font-size="12">{x_label}</text>'
+        )
+        p.append(
+            f'<text x="16" y="{_MARGIN_T + self._plot_h / 2}" font-size="12" '
+            f'text-anchor="middle" transform="rotate(-90 16 '
+            f'{_MARGIN_T + self._plot_h / 2})">{y_label}</text>'
+        )
+        for tick in _nice_log_ticks(self.x_lo, self.x_hi):
+            if not self.x_lo <= tick <= self.x_hi:
+                continue
+            x = self.x_px(tick)
+            p.append(
+                f'<line x1="{x:.1f}" y1="{_MARGIN_T}" x2="{x:.1f}" '
+                f'y2="{_MARGIN_T + self._plot_h}" stroke="#ddd"/>'
+            )
+            p.append(
+                f'<text x="{x:.1f}" y="{_MARGIN_T + self._plot_h + 16}" '
+                f'text-anchor="middle" font-size="10">{_fmt_tick(tick)}</text>'
+            )
+        for tick in _nice_linear_ticks(self.y_lo, self.y_hi):
+            y = self.y_px(tick)
+            p.append(
+                f'<line x1="{_MARGIN_L}" y1="{y:.1f}" '
+                f'x2="{_MARGIN_L + self._plot_w}" y2="{y:.1f}" stroke="#ddd"/>'
+            )
+            p.append(
+                f'<text x="{_MARGIN_L - 6}" y="{y + 3:.1f}" '
+                f'text-anchor="end" font-size="10">{_fmt_tick(tick)}</text>'
+            )
+
+    def polyline(self, points: Sequence[Tuple[float, float]], color: str) -> None:
+        if len(points) < 2:
+            return
+        coords = " ".join(
+            f"{self.x_px(x):.1f},{self.y_px(y):.1f}" for x, y in points
+        )
+        self._parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="1.5"/>'
+        )
+
+    def dots(self, points: Sequence[Tuple[float, float]], color: str) -> None:
+        for x, y in points:
+            self._parts.append(
+                f'<circle cx="{self.x_px(x):.1f}" cy="{self.y_px(y):.1f}" '
+                f'r="3.2" fill="{color}"/>'
+            )
+
+    def hline(self, y: float, color: str = "#000", dash: str = "5,4") -> None:
+        y_px = self.y_px(y)
+        self._parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{y_px:.1f}" '
+            f'x2="{_MARGIN_L + self._plot_w}" y2="{y_px:.1f}" '
+            f'stroke="{color}" stroke-dasharray="{dash}"/>'
+        )
+
+    def legend(self, labels: Sequence[Tuple[str, str]]) -> None:
+        x = _WIDTH - _MARGIN_R + 12
+        for i, (label, color) in enumerate(labels):
+            y = _MARGIN_T + 14 + i * 18
+            self._parts.append(
+                f'<rect x="{x}" y="{y - 9}" width="10" height="10" '
+                f'fill="{color}"/>'
+            )
+            self._parts.append(
+                f'<text x="{x + 15}" y="{y}" font-size="11">{label}</text>'
+            )
+
+    def render(self) -> str:
+        body = "\n".join(self._parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+            f'height="{_HEIGHT}" font-family="sans-serif">\n'
+            f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+
+def pareto_figure(
+    measurements: Iterable[Measurement],
+    title: str = "",
+    baseline_ns: float = None,
+) -> str:
+    """A Figure-7-style plot: size (MB, log) vs latency (ns) per index."""
+    by_index: Dict[str, List[Measurement]] = {}
+    for m in measurements:
+        by_index.setdefault(m.index, []).append(m)
+    all_ms = [m for ms in by_index.values() for m in ms]
+    if not all_ms:
+        raise ValueError("no measurements to plot")
+    sizes = [max(m.size_mb, 1e-5) for m in all_ms]
+    lats = [m.latency_ns for m in all_ms]
+    if baseline_ns is not None:
+        lats.append(baseline_ns)
+    canvas = SvgCanvas(
+        (min(sizes) / 1.5, max(sizes) * 1.5),
+        (0.0, max(lats) * 1.08),
+        title=title,
+        x_label="Size (MB, log scale)",
+        y_label="Lookup time (ns)",
+    )
+    if baseline_ns is not None:
+        canvas.hline(baseline_ns)
+    legend = []
+    for i, (name, ms) in enumerate(sorted(by_index.items())):
+        color = _PALETTE[i % len(_PALETTE)]
+        pts = sorted(
+            (max(m.size_mb, 1e-5), m.latency_ns) for m in ms
+        )
+        canvas.polyline(pts, color)
+        canvas.dots(pts, color)
+        legend.append((name, color))
+    if baseline_ns is not None:
+        legend.append(("BS baseline", "#000"))
+    canvas.legend(legend)
+    return canvas.render()
+
+
+def series_figure(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    title: str,
+    x_label: str,
+    y_label: str,
+) -> str:
+    """Generic log-x line plot (throughput-vs-threads uses x=threads)."""
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    if not xs:
+        raise ValueError("no series to plot")
+    canvas = SvgCanvas(
+        (max(min(xs), 1e-5) / 1.5, max(xs) * 1.5),
+        (0.0, max(ys) * 1.08),
+        title=title,
+        x_label=x_label,
+        y_label=y_label,
+    )
+    legend = []
+    for i, (name, pts) in enumerate(sorted(series.items())):
+        color = _PALETTE[i % len(_PALETTE)]
+        ordered = sorted(pts)
+        canvas.polyline(ordered, color)
+        canvas.dots(ordered, color)
+        legend.append((name, color))
+    canvas.legend(legend)
+    return canvas.render()

@@ -1,0 +1,32 @@
+"""Core formalism of the benchmark (Section 2 of the paper).
+
+An index structure over a zero-indexed sorted array maps an integer lookup
+key to a :class:`SearchBound` guaranteed to contain the key's lower bound
+(the position of the smallest key >= the lookup key).  A "last mile" search
+(:mod:`repro.search`) then locates the exact position within the bound.
+"""
+
+from repro.core.bounds import SearchBound, lower_bound_position
+from repro.core.interface import Capabilities, SortedDataIndex
+from repro.core.registry import (
+    available_indexes,
+    get_index_class,
+    make_index,
+    register_index,
+)
+from repro.core.pareto import ParetoPoint, pareto_front
+from repro.core.validation import validate_index
+
+__all__ = [
+    "SearchBound",
+    "lower_bound_position",
+    "Capabilities",
+    "SortedDataIndex",
+    "register_index",
+    "get_index_class",
+    "make_index",
+    "available_indexes",
+    "ParetoPoint",
+    "pareto_front",
+    "validate_index",
+]

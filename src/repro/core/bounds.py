@@ -1,0 +1,56 @@
+"""Search bounds and the lower-bound definition from Section 2.
+
+The lower bound ``LB(x)`` of a key ``x`` in a sorted array ``D`` is the
+position of the smallest key greater than or equal to ``x``; if ``x`` is
+greater than every key, ``LB(x) = len(D)`` (matching C++
+``std::lower_bound``).  A bound ``(lo, hi)`` is *valid* for ``x`` if
+``lo <= LB(x) < hi`` -- ``hi`` is exclusive, so the widest valid bound over
+an ``n``-key array is ``(0, n + 1)``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class SearchBound:
+    """Half-open position range ``[lo, hi)`` that must contain ``LB(key)``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self):
+        if self.lo < 0:
+            raise ValueError(f"SearchBound.lo must be >= 0, got {self.lo}")
+        if self.hi < self.lo:
+            raise ValueError(f"SearchBound hi < lo: ({self.lo}, {self.hi})")
+
+    def __len__(self) -> int:
+        return self.hi - self.lo
+
+    def contains(self, position: int) -> bool:
+        return self.lo <= position < self.hi
+
+    def clamp(self, n: int) -> "SearchBound":
+        """Clamp to the positions valid for an ``n``-key array: [0, n + 1)."""
+        lo = min(max(self.lo, 0), n)
+        hi = min(max(self.hi, lo + 1), n + 1)
+        return SearchBound(lo, hi)
+
+    @staticmethod
+    def around(estimate: int, error: int, n: int) -> "SearchBound":
+        """Bound centered on a position estimate with symmetric max error."""
+        return SearchBound(max(0, estimate - error), estimate + error + 1).clamp(n)
+
+    @staticmethod
+    def full(n: int) -> "SearchBound":
+        """The trivial bound covering every position of an n-key array."""
+        return SearchBound(0, n + 1)
+
+
+def lower_bound_position(keys: Sequence[int], key: int) -> int:
+    """Reference (untraced) lower bound: ground truth for validation."""
+    return bisect.bisect_left(keys, key)

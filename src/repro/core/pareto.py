@@ -1,0 +1,51 @@
+"""Pareto-front analysis over (size, latency) points (Section 4.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One measured index configuration."""
+
+    index: str
+    size_bytes: int
+    latency_ns: float
+    config: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def size_mb(self) -> float:
+        return self.size_bytes / (1024.0 * 1024.0)
+
+
+def pareto_front(points: Sequence[ParetoPoint]) -> List[ParetoPoint]:
+    """Return the Pareto-optimal subset (minimize both size and latency).
+
+    A point is optimal if no other point is at least as good on both axes
+    and strictly better on one.  Output is sorted by size ascending.
+    """
+    ordered = sorted(points, key=lambda p: (p.size_bytes, p.latency_ns))
+    front: List[ParetoPoint] = []
+    best_latency = float("inf")
+    for p in ordered:
+        if p.latency_ns < best_latency:
+            front.append(p)
+            best_latency = p.latency_ns
+    return front
+
+
+def dominated_by(p: ParetoPoint, q: ParetoPoint) -> bool:
+    """True if ``q`` dominates ``p``."""
+    no_worse = q.size_bytes <= p.size_bytes and q.latency_ns <= p.latency_ns
+    better = q.size_bytes < p.size_bytes or q.latency_ns < p.latency_ns
+    return no_worse and better
+
+
+def front_by_index(points: Sequence[ParetoPoint]) -> Dict[str, List[ParetoPoint]]:
+    """Group points by index name and compute each index's own front."""
+    grouped: Dict[str, List[ParetoPoint]] = {}
+    for p in points:
+        grouped.setdefault(p.index, []).append(p)
+    return {name: pareto_front(pts) for name, pts in grouped.items()}

@@ -1,0 +1,46 @@
+"""Registry of index implementations, keyed by the paper's names."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.core.interface import SortedDataIndex
+
+_REGISTRY: Dict[str, Type[SortedDataIndex]] = {}
+
+
+def register_index(cls: Type[SortedDataIndex]) -> Type[SortedDataIndex]:
+    """Class decorator adding an index implementation to the registry."""
+    name = cls.name
+    if name in ("abstract", ""):
+        raise ValueError(f"{cls.__name__} must set a registry name")
+    if name in _REGISTRY and _REGISTRY[name] is not cls:
+        raise ValueError(f"duplicate index registration: {name}")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def _ensure_loaded() -> None:
+    """Import all implementation modules so their decorators run."""
+    import repro.learned  # noqa: F401
+    import repro.traditional  # noqa: F401
+    import repro.hashing  # noqa: F401
+
+
+def get_index_class(name: str) -> Type[SortedDataIndex]:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown index {name!r}; known: {known}") from None
+
+
+def make_index(name: str, **config) -> SortedDataIndex:
+    """Instantiate a registered index with hyperparameters."""
+    return get_index_class(name)(**config)
+
+
+def available_indexes() -> List[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)

@@ -1,0 +1,20 @@
+"""Datasets: synthetic equivalents of the paper's four real-world datasets.
+
+The paper evaluates on proprietary/external data (amzn, face, osm, wiki).
+Each generator here reproduces the distributional property the paper
+identifies as the one that matters for index behaviour -- see DESIGN.md
+Section 3 for the substitution rationale.
+"""
+
+from repro.datasets.loader import DATASET_NAMES, Dataset, make_dataset
+from repro.datasets.workload import Workload, make_workload
+from repro.datasets.hilbert import hilbert_d_from_xy
+
+__all__ = [
+    "Dataset",
+    "make_dataset",
+    "DATASET_NAMES",
+    "Workload",
+    "make_workload",
+    "hilbert_d_from_xy",
+]

@@ -1,0 +1,110 @@
+"""Lookup workloads.
+
+The paper generates 10M random lookup keys per dataset and requires
+indexes to return valid bounds for each; lookups sum an 8-byte payload to
+verify correctness (Section 4.1.2).  SOSD draws lookup keys from the data;
+we additionally support absent-key workloads for validity testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.datasets.loader import Dataset
+
+
+@dataclass
+class Workload:
+    """A sequence of lookup keys with ground-truth lower-bound positions."""
+
+    dataset: Dataset
+    keys: np.ndarray
+    true_positions: np.ndarray
+    mode: str = "present"
+
+    def __post_init__(self):
+        # Python-native mirrors: traced lookups run key-at-a-time and native
+        # ints are much faster (and safer for arithmetic) than numpy scalars.
+        self.keys_py: List[int] = [int(k) for k in self.keys]
+        self.positions_py: List[int] = [int(p) for p in self.true_positions]
+
+    @property
+    def n(self) -> int:
+        return len(self.keys)
+
+    def expected_checksum(self) -> int:
+        """Payload sum ground truth (only meaningful for present keys)."""
+        return self.dataset.checksum(self.true_positions)
+
+
+def make_workload(
+    dataset: Dataset,
+    n_lookups: int,
+    seed: int = 1,
+    mode: str = "present",
+    zipf_theta: float = 0.99,
+) -> Workload:
+    """Sample a lookup workload.
+
+    Modes
+    -----
+    ``present``:
+        Keys drawn uniformly from the dataset (the paper / SOSD default).
+    ``uniform``:
+        Keys drawn uniformly from the full key range; mostly absent.
+    ``mixed``:
+        Half present, half uniform.
+    ``zipf``:
+        Present keys with Zipfian popularity (YCSB-style, parameter
+        ``zipf_theta``), key ranks shuffled over the array.  Skewed
+        workloads concentrate lookups on few cache lines -- an extension
+        probing the caching effects of the paper's Section 4.4.
+    """
+    rng = np.random.default_rng(seed + 0x517)
+    keys_arr = dataset.keys
+    n = len(keys_arr)
+
+    if mode == "present":
+        idx = rng.integers(0, n, size=n_lookups)
+        lookup_keys = keys_arr[idx]
+    elif mode == "zipf":
+        ranks = _zipf_ranks(rng, n, n_lookups, zipf_theta)
+        # Shuffle rank -> position so hot keys are spread over the array.
+        perm = rng.permutation(n)
+        lookup_keys = keys_arr[perm[ranks]]
+    elif mode == "uniform":
+        lo, hi = int(keys_arr[0]), int(keys_arr[-1])
+        lookup_keys = np.array(
+            [lo + int(rng.random() * (hi - lo + 1)) for _ in range(n_lookups)],
+            dtype=np.uint64,
+        )
+    elif mode == "mixed":
+        half = n_lookups // 2
+        present = make_workload(dataset, half, seed, "present")
+        uniform = make_workload(dataset, n_lookups - half, seed + 1, "uniform")
+        lookup_keys = np.concatenate([present.keys, uniform.keys])
+        order = rng.permutation(n_lookups)
+        lookup_keys = lookup_keys[order]
+    else:
+        raise ValueError(f"unknown workload mode {mode!r}")
+
+    true_positions = np.searchsorted(keys_arr, lookup_keys, side="left")
+    return Workload(dataset, lookup_keys, true_positions, mode)
+
+
+def _zipf_ranks(
+    rng: np.random.Generator, n: int, size: int, theta: float
+) -> np.ndarray:
+    """Zipfian ranks in [0, n) via inverse-CDF sampling.
+
+    P(rank = r) proportional to 1 / (r + 1)**theta, the YCSB skew model.
+    """
+    if not 0.0 < theta < 10.0:
+        raise ValueError("zipf_theta must be in (0, 10)")
+    weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), theta)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    return np.searchsorted(cdf, rng.random(size))

@@ -1,0 +1,6 @@
+"""Hash tables: unordered point-lookup baselines (paper Section 4.2, Table 2)."""
+
+from repro.hashing.cuckoo import CuckooMapIndex
+from repro.hashing.robinhood import RobinHashIndex
+
+__all__ = ["CuckooMapIndex", "RobinHashIndex"]

@@ -1,0 +1,28 @@
+"""Learned index structures: RMI, PGM and RadixSpline (paper Section 3),
+plus extensions (three-stage RMI, FITing-Tree, dynamic PGM, ALEX)."""
+
+from repro.learned.rmi import RMIIndex
+from repro.learned.rmi3 import RMI3Index
+from repro.learned.pgm import PGMIndex
+from repro.learned.fiting_tree import FITingTreeIndex
+from repro.learned.dynamic_pgm import DynamicPGM
+from repro.learned.alex import AlexIndex
+from repro.learned.radix_spline import RadixSplineIndex
+from repro.learned.cdfshop import TunedConfig, tune_rmi
+from repro.learned.pla import Segment, fit_pla
+from repro.learned.spline import fit_spline
+
+__all__ = [
+    "RMIIndex",
+    "RMI3Index",
+    "PGMIndex",
+    "FITingTreeIndex",
+    "DynamicPGM",
+    "AlexIndex",
+    "RadixSplineIndex",
+    "tune_rmi",
+    "TunedConfig",
+    "fit_pla",
+    "Segment",
+    "fit_spline",
+]

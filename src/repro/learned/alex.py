@@ -1,0 +1,366 @@
+"""ALEX-style updatable adaptive learned index (extension).
+
+The paper cites ALEX (Ding et al., reference [11]) among the learned
+structures that "begin to support writes" and motivates benchmarking them
+as future work.  This is a from-scratch implementation of ALEX's core
+mechanisms, simplified to a two-level structure:
+
+* a **root model** routes keys to one of ``n_buckets`` child pointers;
+  several adjacent pointers may share one data node (ALEX's pointer
+  duplication), so skewed regions get more nodes;
+* **gapped data nodes**: each node stores keys in a sparse array with
+  gaps; a per-node linear model predicts a key's slot, and an exponential
+  search around the prediction finds it exactly;
+* **model-based inserts**: an insert shifts entries only as far as the
+  nearest gap;
+* **node splits and expansions**: a node over its density limit either
+  splits its pointer range in half (when it owns several root pointers)
+  or doubles its capacity and retrains.
+
+Unlike the read-only benchmark indexes this owns its key/value data
+(compare :class:`repro.learned.dynamic_pgm.DynamicPGM`, the
+logarithmic-method alternative).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.learned.models import LinearModel
+
+_EMPTY = None
+
+
+class _DataNode:
+    """A gapped array of (key, value) with a linear placement model.
+
+    Invariant: occupied slots hold strictly increasing keys in slot
+    order.  All navigation reduces to :meth:`_predecessor_slot`, which is
+    correct regardless of model error (the model only sets the search's
+    starting point).
+    """
+
+    __slots__ = ("capacity", "keys", "values", "n", "model", "max_density")
+
+    def __init__(self, capacity: int, max_density: float):
+        self.capacity = max(capacity, 4)
+        self.keys: List[Optional[int]] = [_EMPTY] * self.capacity
+        self.values: List[int] = [0] * self.capacity
+        self.n = 0
+        self.model = LinearModel()
+        self.max_density = max_density
+
+    @classmethod
+    def bulk_load(
+        cls,
+        keys: List[int],
+        values: List[int],
+        density: float,
+        max_density: float,
+    ) -> "_DataNode":
+        n = len(keys)
+        capacity = max(int(n / density) + 1, 8)
+        node = cls(capacity, max_density)
+        node.n = n
+        slots = [i * node.capacity // max(n, 1) for i in range(n)]
+        for slot, key, value in zip(slots, keys, values):
+            node.keys[slot] = key
+            node.values[slot] = value
+        # Fit the placement model to the *actual* layout.
+        if n >= 2:
+            node.model.fit(
+                np.asarray(keys, dtype=np.float64),
+                np.asarray(slots, dtype=np.float64),
+            )
+        return node
+
+    # -- navigation ---------------------------------------------------------
+
+    def _predict_slot(self, key: int) -> int:
+        slot = int(self.model.predict(float(key)))
+        if slot < 0:
+            return 0
+        if slot >= self.capacity:
+            return self.capacity - 1
+        return slot
+
+    def _prev_occupied(self, slot: int) -> Optional[int]:
+        for i in range(min(slot, self.capacity - 1), -1, -1):
+            if self.keys[i] is not _EMPTY:
+                return i
+        return None
+
+    def _next_occupied(self, slot: int) -> Optional[int]:
+        for i in range(max(slot, 0), self.capacity):
+            if self.keys[i] is not _EMPTY:
+                return i
+        return None
+
+    def _predecessor_slot(self, key: int) -> Optional[int]:
+        """Largest occupied slot whose key is <= ``key`` (None if none)."""
+        start = self._predict_slot(key)
+        candidate = self._prev_occupied(start)
+        if candidate is None:
+            candidate = self._next_occupied(start + 1)
+            if candidate is None or self.keys[candidate] > key:
+                return None
+        if self.keys[candidate] <= key:
+            while True:
+                nxt = self._next_occupied(candidate + 1)
+                if nxt is None or self.keys[nxt] > key:
+                    return candidate
+                candidate = nxt
+        while candidate is not None and self.keys[candidate] > key:
+            candidate = self._prev_occupied(candidate - 1)
+        return candidate
+
+    # -- queries -------------------------------------------------------------
+
+    def find(self, key: int) -> Optional[int]:
+        slot = self._predecessor_slot(key)
+        if slot is not None and self.keys[slot] == key:
+            return self.values[slot]
+        return None
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert(self, key: int, value: int) -> bool:
+        """Insert or overwrite; returns False when the node must split."""
+        pred = self._predecessor_slot(key)
+        if pred is not None and self.keys[pred] == key:
+            self.values[pred] = value
+            return True
+        if (self.n + 1) / self.capacity > self.max_density:
+            return False
+        nxt = self._next_occupied((pred + 1) if pred is not None else 0)
+        lo = (pred + 1) if pred is not None else 0
+        hi = nxt if nxt is not None else self.capacity
+        if lo < hi:
+            # A gap already exists between predecessor and successor.
+            slot = min(max(self._predict_slot(key), lo), hi - 1)
+            self.keys[slot] = key
+            self.values[slot] = value
+            self.n += 1
+            return True
+        # No gap in between: shift towards the nearest gap.
+        gap_right = self._first_gap_right(hi)
+        gap_left = self._first_gap_left(pred) if pred is not None else None
+        if gap_right is None and gap_left is None:
+            return False
+        use_right = gap_left is None or (
+            gap_right is not None and (gap_right - hi) <= (pred - gap_left)
+        )
+        if use_right:
+            for i in range(gap_right, hi, -1):
+                self.keys[i] = self.keys[i - 1]
+                self.values[i] = self.values[i - 1]
+            target = hi
+        else:
+            for i in range(gap_left, pred):
+                self.keys[i] = self.keys[i + 1]
+                self.values[i] = self.values[i + 1]
+            target = pred
+        self.keys[target] = key
+        self.values[target] = value
+        self.n += 1
+        return True
+
+    def _first_gap_right(self, slot: int) -> Optional[int]:
+        for i in range(max(slot, 0), self.capacity):
+            if self.keys[i] is _EMPTY:
+                return i
+        return None
+
+    def _first_gap_left(self, slot: int) -> Optional[int]:
+        for i in range(min(slot, self.capacity - 1), -1, -1):
+            if self.keys[i] is _EMPTY:
+                return i
+        return None
+
+    # -- iteration ------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        for slot in range(self.capacity):
+            key = self.keys[slot]
+            if key is not _EMPTY:
+                yield key, self.values[slot]
+
+    def sorted_items(self) -> Tuple[List[int], List[int]]:
+        keys, values = [], []
+        for key, value in self.items():
+            keys.append(key)
+            values.append(value)
+        return keys, values
+
+
+class AlexIndex:
+    """Two-level ALEX: root pointer array over gapped data nodes.
+
+    Parameters
+    ----------
+    n_buckets:
+        Root fan-out (pointer array size).
+    target_node_keys:
+        Bulk-load target keys per data node.
+    density / max_density:
+        Initial and maximum fill of data nodes.
+    """
+
+    def __init__(
+        self,
+        n_buckets: int = 256,
+        target_node_keys: int = 256,
+        density: float = 0.7,
+        max_density: float = 0.85,
+    ):
+        if n_buckets < 1:
+            raise ValueError("n_buckets must be >= 1")
+        if not 0.1 <= density < max_density <= 0.95:
+            raise ValueError("need 0.1 <= density < max_density <= 0.95")
+        self.n_buckets = n_buckets
+        self.target_node_keys = target_node_keys
+        self.density = density
+        self.max_density = max_density
+        self.root_model = LinearModel()
+        empty = _DataNode.bulk_load([], [], density, max_density)
+        #: bucket id -> data node (adjacent buckets may share a node).
+        self._children: List[_DataNode] = [empty] * n_buckets
+        self._n = 0
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def bulk_load(cls, keys, values, n_buckets: int = 256, **kwargs) -> "AlexIndex":
+        keys = [int(k) for k in keys]
+        values = [int(v) for v in values]
+        if any(b <= a for a, b in zip(keys, keys[1:])):
+            raise ValueError("bulk_load expects strictly increasing keys")
+        index = cls(n_buckets=n_buckets, **kwargs)
+        index._bulk(keys, values)
+        return index
+
+    def _bulk(self, keys: List[int], values: List[int]) -> None:
+        n = len(keys)
+        self._n = n
+        if n == 0:
+            return
+        self.root_model.fit(
+            np.asarray(keys, dtype=np.float64),
+            np.arange(n, dtype=np.float64) * (self.n_buckets / n),
+        )
+        buckets = [self._route(k) for k in keys]
+        self._children = [None] * self.n_buckets
+        start = 0
+        while start < n:
+            end = min(start + self.target_node_keys, n)
+            # Never let one bucket straddle two nodes.
+            while end < n and buckets[end] == buckets[end - 1]:
+                end += 1
+            node = _DataNode.bulk_load(
+                keys[start:end], values[start:end], self.density, self.max_density
+            )
+            for b in range(buckets[start], buckets[end - 1] + 1):
+                self._children[b] = node
+            start = end
+        self._fill_pointer_gaps()
+
+    def _fill_pointer_gaps(self) -> None:
+        """Point unassigned buckets at the node on their left (or first)."""
+        last = None
+        for b in range(self.n_buckets):
+            if self._children[b] is None:
+                self._children[b] = last
+            else:
+                last = self._children[b]
+        first = next((c for c in self._children if c is not None), None)
+        if first is None:
+            first = _DataNode.bulk_load([], [], self.density, self.max_density)
+        for b in range(self.n_buckets):
+            if self._children[b] is None:
+                self._children[b] = first
+
+    def _route(self, key: int) -> int:
+        bucket = int(self.root_model.predict(float(key)))
+        if bucket < 0:
+            return 0
+        if bucket >= self.n_buckets:
+            return self.n_buckets - 1
+        return bucket
+
+    # -- queries ---------------------------------------------------------------
+
+    def get(self, key: int) -> Optional[int]:
+        key = int(key)
+        return self._children[self._route(key)].find(key)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """All items in key order."""
+        seen = set()
+        for node in self._children:
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            yield from node.items()
+
+    def range(self, lo: int, hi: int) -> Iterator[Tuple[int, int]]:
+        """(key, value) pairs with lo <= key < hi, ascending."""
+        for key, value in self.items():
+            if key < lo:
+                continue
+            if key >= hi:
+                return
+            yield key, value
+
+    @property
+    def n_data_nodes(self) -> int:
+        return len({id(c) for c in self._children})
+
+    # -- mutation --------------------------------------------------------------
+
+    def insert(self, key: int, value: int) -> None:
+        key = int(key)
+        bucket = self._route(key)
+        node = self._children[bucket]
+        had = node.find(key) is not None
+        if node.insert(key, value):
+            if not had:
+                self._n += 1
+            return
+        self._split_or_expand(bucket, node)
+        self.insert(key, value)
+
+    def _node_buckets(self, node: _DataNode) -> Tuple[int, int]:
+        ids = [b for b, c in enumerate(self._children) if c is node]
+        return ids[0], ids[-1]
+
+    def _split_or_expand(self, bucket: int, node: _DataNode) -> None:
+        lo, hi = self._node_buckets(node)
+        keys, values = node.sorted_items()
+        if hi > lo:
+            # Split the pointer range in half (ALEX pointer split).
+            mid_bucket = (lo + hi + 1) // 2
+            routes = [self._route(k) for k in keys]
+            split_at = 0
+            while split_at < len(keys) and routes[split_at] < mid_bucket:
+                split_at += 1
+            left = _DataNode.bulk_load(
+                keys[:split_at], values[:split_at], self.density, self.max_density
+            )
+            right = _DataNode.bulk_load(
+                keys[split_at:], values[split_at:], self.density, self.max_density
+            )
+            for b in range(lo, mid_bucket):
+                self._children[b] = left
+            for b in range(mid_bucket, hi + 1):
+                self._children[b] = right
+        else:
+            # Single pointer: expand the node (halve density, retrain).
+            expanded = _DataNode.bulk_load(
+                keys, values, self.density / 2.0, self.max_density
+            )
+            self._children[bucket] = expanded

@@ -1,0 +1,79 @@
+"""CDFShop-style RMI auto-tuner (Marcus et al., SIGMOD'20 demo).
+
+The paper tunes every RMI with CDFShop, which explores configurations
+(model types x branching factors) and keeps the Pareto frontier of
+(index size, average log2 error).  This is a faithful, scaled-down
+re-implementation of that search: log2 error is a cheap build-time proxy
+for lookup latency (the paper's Figure 12 second column), so the tuner
+needs no traced measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.learned.rmi import RMIIndex
+from repro.memsim.memory import AddressSpace, TracedArray
+
+
+@dataclass(frozen=True)
+class TunedConfig:
+    """One explored RMI configuration with its quality metrics."""
+
+    stage1: str
+    stage2: str
+    branching: int
+    size_bytes: int
+    mean_log2_error: float
+
+    def build(self, data, space: Optional[AddressSpace] = None) -> RMIIndex:
+        rmi = RMIIndex(
+            branching=self.branching, stage1=self.stage1, stage2=self.stage2
+        )
+        return rmi.build(data, space)
+
+
+DEFAULT_STAGE1_TYPES = ("linear", "cubic", "loglinear", "radix")
+
+
+def tune_rmi(
+    keys: Sequence[int],
+    stage1_types: Sequence[str] = DEFAULT_STAGE1_TYPES,
+    max_branching_power: int = 18,
+    min_branching_power: int = 6,
+    branching_step: int = 2,
+) -> List[TunedConfig]:
+    """Explore RMI configurations; return the Pareto set sorted by size.
+
+    A configuration is kept if no other explored configuration has both a
+    smaller footprint and a lower average log2 error.
+    """
+    arr = np.asarray(keys, dtype=np.uint64)
+    max_power = min(max_branching_power, max(int(np.log2(len(arr))), 4))
+    explored: List[TunedConfig] = []
+    for stage1 in stage1_types:
+        for power in range(min_branching_power, max_power + 1, branching_step):
+            space = AddressSpace()
+            data = TracedArray.allocate(space, arr, name="data")
+            rmi = RMIIndex(branching=1 << power, stage1=stage1).build(data, space)
+            explored.append(
+                TunedConfig(
+                    stage1=stage1,
+                    stage2=rmi.stage2_type,
+                    branching=rmi.branching,
+                    size_bytes=rmi.size_bytes(),
+                    mean_log2_error=rmi.mean_log2_error(),
+                )
+            )
+
+    explored.sort(key=lambda c: (c.size_bytes, c.mean_log2_error))
+    pareto: List[TunedConfig] = []
+    best = float("inf")
+    for cfg in explored:
+        if cfg.mean_log2_error < best:
+            pareto.append(cfg)
+            best = cfg.mean_log2_error
+    return pareto

@@ -1,0 +1,196 @@
+"""Dynamic PGM: insert support via the logarithmic method (extension).
+
+The paper evaluates read-only structures but points at updatable learned
+indexes as the next step ("As more learned index structures begin to
+support updates [11, 13, 14], a benchmark against traditional indexes
+could be fruitful") and notes PGM itself "can also handle inserts"
+(Section 3.3).  The PGM paper's dynamization is the classic logarithmic
+method: a small sorted buffer plus a collection of static PGM-indexed
+runs of geometrically increasing size; inserts amortize O(log n) merge
+work, lookups query the buffer and each run.
+
+This is a standalone key-value structure (not a ``SortedDataIndex``): it
+owns its data rather than indexing an external sorted array.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.learned.pgm import PGMIndex
+from repro.memsim.memory import AddressSpace, TracedArray
+from repro.search.last_mile import binary_search
+
+
+@dataclass
+class _Run:
+    """One immutable sorted run with its static PGM index."""
+
+    keys: np.ndarray
+    values: np.ndarray
+    data: TracedArray
+    index: PGMIndex
+
+    @property
+    def n(self) -> int:
+        return len(self.keys)
+
+
+def _build_run(keys: np.ndarray, values: np.ndarray, epsilon: int) -> _Run:
+    space = AddressSpace()
+    data = TracedArray.allocate(space, keys, name="dynpgm.run")
+    index = PGMIndex(epsilon=epsilon).build(data, space)
+    return _Run(keys, values, data, index)
+
+
+class DynamicPGM:
+    """Insertable key-value map backed by static PGM runs.
+
+    Parameters
+    ----------
+    epsilon:
+        Error bound of each run's PGM index.
+    buffer_capacity:
+        Inserts collect in a sorted in-memory buffer of this size before
+        being merged into the run hierarchy.
+
+    Later inserts of an existing key overwrite its value.
+    """
+
+    def __init__(self, epsilon: int = 32, buffer_capacity: int = 256):
+        if buffer_capacity < 1:
+            raise ValueError("buffer_capacity must be >= 1")
+        self.epsilon = int(epsilon)
+        self.buffer_capacity = int(buffer_capacity)
+        self._buffer_keys: List[int] = []
+        self._buffer_values: List[int] = []
+        #: Runs ordered oldest (largest) to newest (smallest).
+        self._runs: List[_Run] = []
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, key: int, value: int) -> None:
+        keys = self._buffer_keys
+        pos = bisect.bisect_left(keys, key)
+        if pos < len(keys) and keys[pos] == key:
+            self._buffer_values[pos] = value
+        else:
+            keys.insert(pos, key)
+            self._buffer_values.insert(pos, value)
+        if len(keys) >= self.buffer_capacity:
+            self._flush_buffer()
+
+    def _flush_buffer(self) -> None:
+        new_keys = np.array(self._buffer_keys, dtype=np.uint64)
+        new_values = np.array(self._buffer_values, dtype=np.uint64)
+        self._buffer_keys = []
+        self._buffer_values = []
+        # Logarithmic method: merge with trailing runs while the merged
+        # size would reach the next run's size class.
+        while self._runs and self._runs[-1].n <= len(new_keys):
+            run = self._runs.pop()
+            new_keys, new_values = _merge(
+                run.keys, run.values, new_keys, new_values
+            )
+        self._runs.append(_build_run(new_keys, new_values, self.epsilon))
+        self._runs.sort(key=lambda r: -r.n)
+
+    # -- queries --------------------------------------------------------------
+
+    def get(self, key: int) -> Optional[int]:
+        """Value for ``key``, or None."""
+        pos = bisect.bisect_left(self._buffer_keys, key)
+        if pos < len(self._buffer_keys) and self._buffer_keys[pos] == key:
+            return int(self._buffer_values[pos])
+        # Newest runs shadow older ones.
+        for run in reversed(self._runs):
+            bound = run.index.lookup(key)
+            p = binary_search(run.data, key, bound)
+            if p < run.n and int(run.keys[p]) == key:
+                return int(run.values[p])
+        return None
+
+    def range(self, lo: int, hi: int) -> Iterator[Tuple[int, int]]:
+        """Yield (key, value) for keys in [lo, hi), ascending, newest wins."""
+        import heapq
+
+        streams = []
+        # Priority: lower number = newer (wins on ties).
+        buf_lo = bisect.bisect_left(self._buffer_keys, lo)
+        streams.append(
+            (
+                0,
+                iter(
+                    (self._buffer_keys[i], self._buffer_values[i])
+                    for i in range(buf_lo, len(self._buffer_keys))
+                ),
+            )
+        )
+        def run_stream(run: _Run, start: int) -> Iterator[Tuple[int, int]]:
+            for i in range(start, run.n):
+                yield int(run.keys[i]), int(run.values[i])
+
+        for age, run in enumerate(reversed(self._runs), start=1):
+            bound = run.index.lookup(lo)
+            start = binary_search(run.data, lo, bound)
+            streams.append((age, run_stream(run, start)))
+
+        heap = []
+        for age, stream in streams:
+            first = next(stream, None)
+            if first is not None:
+                heapq.heappush(heap, (first[0], age, first[1], stream))
+        last_key = None
+        while heap:
+            key, age, value, stream = heapq.heappop(heap)
+            if key >= hi:
+                return
+            if key != last_key:  # newest (smallest age) surfaces first
+                yield int(key), int(value)
+                last_key = key
+            nxt = next(stream, None)
+            if nxt is not None:
+                heapq.heappush(heap, (nxt[0], age, nxt[1], stream))
+
+    # -- stats ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        seen = len(self._buffer_keys)
+        # Runs may shadow keys; count distinct via merge of key arrays.
+        if not self._runs:
+            return seen
+        all_keys = np.concatenate(
+            [r.keys for r in self._runs]
+            + [np.array(self._buffer_keys, dtype=np.uint64)]
+        )
+        return int(len(np.unique(all_keys)))
+
+    @property
+    def n_runs(self) -> int:
+        return len(self._runs)
+
+    def index_size_bytes(self) -> int:
+        return sum(r.index.size_bytes() for r in self._runs)
+
+
+def _merge(
+    keys_a: np.ndarray,
+    values_a: np.ndarray,
+    keys_b: np.ndarray,
+    values_b: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge two sorted runs; ``b`` (newer) wins on duplicate keys."""
+    keys = np.concatenate([keys_a, keys_b])
+    values = np.concatenate([values_a, values_b])
+    # Stable sort keeps a-then-b order for equal keys; keep the LAST
+    # occurrence (the newer b entry).
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    values = values[order]
+    keep = np.ones(len(keys), dtype=bool)
+    keep[:-1] = keys[:-1] != keys[1:]
+    return keys[keep], values[keep]

@@ -1,0 +1,195 @@
+"""Piecewise geometric model (PGM) index, Ferragina & Vinciguerra / Sec 3.3.
+
+Built bottom-up: an error-bounded PLA over the data forms the bottom
+level; the segment boundary keys are treated as a new dataset and the
+process repeats until a level fits in ``root_limit`` entries.  Lookups
+descend the levels, using each level's linear prediction to narrow the
+(binary) search for the responsible segment on the next level -- the
+inter-level searches whose cost the paper identifies as PGM's handicap
+versus RMI (Section 3.4).
+
+Per level, segment keys live in one contiguous array (binary-searched)
+and per-segment parameters in a parallel array of contiguous
+3-float64 records (slope, intercept, last_pos_plus1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.core.bounds import SearchBound
+from repro.core.interface import Capabilities, SortedDataIndex
+from repro.core.registry import register_index
+from repro.learned.pla import Segment
+from repro.memsim.memory import AddressSpace, TracedArray
+from repro.memsim.tracer import NULL_TRACER, Tracer
+
+_REC = 3  # floats per segment record
+_PRED_INSTR = 6  # subtract, fma, clamp, bound arithmetic
+_SEARCH_STEP_INSTR = 5
+
+
+class _Level:
+    """One PGM level: segment first-keys plus parameter records."""
+
+    __slots__ = ("keys", "params", "n_segments")
+
+    def __init__(self, keys: TracedArray, params: TracedArray):
+        self.keys = keys
+        self.params = params
+        self.n_segments = len(keys)
+
+
+def _segments_to_arrays(segments: List[Segment]):
+    keys = np.array([s.first_key for s in segments], dtype=np.uint64)
+    params = np.zeros(len(segments) * _REC, dtype=np.float64)
+    for i, s in enumerate(segments):
+        params[i * _REC + 0] = s.slope
+        params[i * _REC + 1] = s.intercept
+        params[i * _REC + 2] = float(s.last_pos + 1)
+    return keys, params
+
+
+@register_index
+class PGMIndex(SortedDataIndex):
+    """PGM index with uniform error bound ``epsilon`` per level.
+
+    Parameters
+    ----------
+    epsilon:
+        Max prediction error of the bottom level (the size/performance
+        knob the paper tunes).
+    epsilon_internal:
+        Error bound for the upper levels (the reference implementation
+        defaults to a small constant).
+    root_limit:
+        A level with at most this many segments becomes the root and is
+        binary-searched directly.
+    """
+
+    name = "PGM"
+    capabilities = Capabilities(updates=True, ordered=True, kind="Learned")
+
+    def __init__(
+        self,
+        epsilon: int = 64,
+        epsilon_internal: int = 4,
+        root_limit: int = 16,
+    ):
+        super().__init__()
+        if epsilon < 1 or epsilon_internal < 1:
+            raise ValueError("epsilon bounds must be >= 1")
+        self.epsilon = int(epsilon)
+        self.epsilon_internal = int(epsilon_internal)
+        self.root_limit = int(root_limit)
+        #: Levels from root (smallest) to bottom (over the data).
+        self._levels: List[_Level] = []
+
+    # -- construction -----------------------------------------------------
+
+    def _build(self, data: TracedArray, space: AddressSpace) -> None:
+        from repro.learned.fitting_fast import fit_pla_fast
+
+        levels_bottom_up: List[List[Segment]] = []
+        segs = fit_pla_fast(data.values, float(self.epsilon))
+        levels_bottom_up.append(segs)
+        while len(levels_bottom_up[-1]) > self.root_limit:
+            upper_keys = np.array(
+                [s.first_key for s in levels_bottom_up[-1]], dtype=np.uint64
+            )
+            segs = fit_pla_fast(upper_keys, float(self.epsilon_internal))
+            levels_bottom_up.append(segs)
+
+        self._levels = []
+        for depth, segs in enumerate(reversed(levels_bottom_up)):
+            keys, params = _segments_to_arrays(segs)
+            level = _Level(
+                self._register(
+                    TracedArray.allocate(space, keys, name=f"pgm.keys{depth}")
+                ),
+                self._register(
+                    TracedArray.allocate(space, params, name=f"pgm.params{depth}")
+                ),
+            )
+            self._levels.append(level)
+
+    # -- lookup ------------------------------------------------------------
+
+    def _segment_search(
+        self,
+        level: _Level,
+        key: int,
+        lo: int,
+        hi: int,
+        tracer: Tracer,
+    ) -> int:
+        """Index of the last segment in [lo, hi) with first_key <= key."""
+        keys = level.keys
+        lo = max(lo, 0)
+        hi = min(hi, level.n_segments)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            tracer.instr(_SEARCH_STEP_INSTR)
+            goes_right = keys.get(mid, tracer) <= key
+            tracer.branch("pgm.search", goes_right)
+            if goes_right:
+                lo = mid + 1
+            else:
+                hi = mid
+        return max(lo - 1, 0)
+
+    def lookup(self, key: int, tracer: Tracer = NULL_TRACER) -> SearchBound:
+        key = int(key)
+        n = self.n_keys
+        root = self._levels[0]
+        seg = self._segment_search(root, key, 0, root.n_segments, tracer)
+
+        for depth in range(len(self._levels)):
+            level = self._levels[depth]
+            first_key = level.keys.get(seg, tracer)
+            slope, intercept, last_pos_plus1 = level.params.get_block(
+                seg * _REC, _REC, tracer
+            )
+            tracer.instr(_PRED_INSTR)
+            pred = intercept + slope * float(key - first_key)
+            if pred < intercept:
+                pred = intercept
+            elif pred > last_pos_plus1:
+                pred = last_pos_plus1
+
+            is_bottom = depth == len(self._levels) - 1
+            if is_bottom:
+                lo = max(int(pred) - self.epsilon - 1, 0)
+                hi = min(int(pred) + self.epsilon + 2, n + 1)
+                if hi <= lo:
+                    hi = lo + 1
+                return SearchBound(lo, hi)
+            # Find the responsible segment on the next level within the
+            # predicted window.  The window covers the lower-bound estimate
+            # +-eps plus one extra slot below, because the responsible
+            # segment is the lower bound's *predecessor*.
+            eps = self.epsilon_internal
+            nxt = self._levels[depth + 1]
+            seg = self._segment_search(
+                nxt, key, int(pred) - eps - 2, int(pred) + eps + 2, tracer
+            )
+        raise AssertionError("unreachable")
+
+    # -- diagnostics ---------------------------------------------------------
+
+    @property
+    def n_levels(self) -> int:
+        return len(self._levels)
+
+    def mean_log2_error(self) -> float:
+        """log2 of the bottom-level search interval size."""
+        return math.log2(2.0 * self.epsilon + 2.0)
+
+    @classmethod
+    def size_sweep_configs(cls, n_keys: int) -> List[dict]:
+        """~10 configurations from minimum to maximum size (Figure 7)."""
+        eps_values = [2048, 1024, 512, 256, 128, 64, 32, 16, 8, 4]
+        return [{"epsilon": e} for e in eps_values if e < max(n_keys // 4, 8)]

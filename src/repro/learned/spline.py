@@ -1,0 +1,87 @@
+"""Greedy spline corridor fitting (Neumann & Michel), used by RadixSpline.
+
+Selects a subset of the data points as spline knots such that linear
+interpolation between consecutive knots approximates every data point's
+position to within ``epsilon``.  Single pass, O(1) per element -- the
+"constant worst-case cost per element" build property the paper highlights
+for RS (Section 4.6).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def fit_spline(
+    keys: Sequence[int],
+    epsilon: float,
+) -> List[Tuple[int, int]]:
+    """Return spline knots as (key, position) pairs.
+
+    The first and last data points are always knots.  For every data point
+    ``(keys[i], i)`` the linear interpolation between its surrounding knots
+    is within ``epsilon`` of ``i``.  Keys must be strictly increasing.
+    """
+    n = len(keys)
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    if n == 0:
+        return []
+    if n == 1:
+        return [(keys[0], 0)]
+
+    knots: List[Tuple[int, int]] = [(keys[0], 0)]
+    base_key = keys[0]
+    base_pos = 0.0
+    # Corridor of feasible slopes for the segment leaving the base knot.
+    slope_lo = 0.0
+    slope_hi = float("inf")
+    prev_key = keys[0]
+    prev_pos = 0
+
+    for i in range(1, n):
+        key = keys[i]
+        dx = float(key - base_key)
+        if key <= prev_key:
+            raise ValueError("keys must be strictly increasing")
+        dy = float(i) - base_pos
+        slope = dy / dx
+        if slope_lo <= slope <= slope_hi:
+            # Point reachable: tighten the corridor and continue.
+            slope_hi = min(slope_hi, (dy + epsilon) / dx)
+            slope_lo = max(slope_lo, (dy - epsilon) / dx)
+            prev_key, prev_pos = key, i
+            continue
+        # Previous point becomes a knot; restart the corridor from it.
+        knots.append((prev_key, prev_pos))
+        base_key, base_pos = prev_key, float(prev_pos)
+        dx = float(key - base_key)
+        dy = float(i) - base_pos
+        slope_hi = (dy + epsilon) / dx
+        slope_lo = max((dy - epsilon) / dx, 0.0)
+        prev_key, prev_pos = key, i
+
+    if knots[-1][0] != keys[n - 1]:
+        knots.append((keys[n - 1], n - 1))
+    return knots
+
+
+def interpolate(knots: List[Tuple[int, int]], seg: int, key: int) -> float:
+    """Position estimate for ``key`` within knot segment ``seg``."""
+    k0, p0 = knots[seg]
+    k1, p1 = knots[seg + 1]
+    if k1 == k0:
+        return float(p0)
+    t = float(key - k0) / float(k1 - k0)
+    return p0 + t * (p1 - p0)
+
+
+def max_spline_error(keys: Sequence[int], knots: List[Tuple[int, int]]) -> float:
+    """Measure actual max interpolation error over the data (testing helper)."""
+    worst = 0.0
+    seg = 0
+    for i, key in enumerate(keys):
+        while seg + 1 < len(knots) - 1 and knots[seg + 1][0] <= key:
+            seg += 1
+        worst = max(worst, abs(interpolate(knots, seg, key) - i))
+    return worst

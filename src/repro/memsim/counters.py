@@ -1,0 +1,87 @@
+"""Performance counters accumulated by a :class:`~repro.memsim.PerfTracer`.
+
+These mirror the hardware counters the paper reports in Section 4.3:
+instruction count, branches and branch mispredictions, and cache behaviour
+(per-level hits plus last-level misses, i.e. DRAM accesses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class PerfCounters:
+    """Raw event counts for one or more simulated lookups.
+
+    Attributes
+    ----------
+    instructions:
+        Retired (simulated) instructions.
+    branches:
+        Conditional branches executed.
+    branch_misses:
+        Branches the two-bit predictor mispredicted.
+    reads:
+        Memory reads issued (one per ``Tracer.read`` call).
+    l1_hits / l2_hits / l3_hits:
+        Reads served by each cache level.
+    llc_misses:
+        Reads that missed every cache level (served by DRAM).  This is the
+        paper's "cache misses" metric.
+    """
+
+    instructions: int = 0
+    branches: int = 0
+    branch_misses: int = 0
+    reads: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    l3_hits: int = 0
+    llc_misses: int = 0
+    tlb_misses: int = 0
+
+    def copy(self) -> "PerfCounters":
+        return PerfCounters(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def __add__(self, other: "PerfCounters") -> "PerfCounters":
+        return PerfCounters(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __sub__(self, other: "PerfCounters") -> "PerfCounters":
+        return PerfCounters(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def scaled(self, factor: float) -> "PerfCountersF":
+        """Return per-lookup averages (floats) given a lookup count."""
+        return PerfCountersF(
+            **{f.name: getattr(self, f.name) * factor for f in fields(self)}
+        )
+
+    def per_lookup(self, n_lookups: int) -> "PerfCountersF":
+        if n_lookups <= 0:
+            raise ValueError("n_lookups must be positive")
+        return self.scaled(1.0 / n_lookups)
+
+
+@dataclass
+class PerfCountersF:
+    """Float-valued counters (e.g. per-lookup averages)."""
+
+    instructions: float = 0.0
+    branches: float = 0.0
+    branch_misses: float = 0.0
+    reads: float = 0.0
+    l1_hits: float = 0.0
+    l2_hits: float = 0.0
+    l3_hits: float = 0.0
+    llc_misses: float = 0.0
+    tlb_misses: float = 0.0

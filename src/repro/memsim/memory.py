@@ -1,0 +1,103 @@
+"""Simulated byte-addressed memory: address allocation and traced arrays.
+
+Indexes allocate their internal arrays from an :class:`AddressSpace` so
+that the cache simulator sees realistic addresses: adjacent array elements
+share cache lines, distinct structures do not alias each other, and the
+in-memory footprint of a structure is exactly the sum of its allocations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+_ALIGN = 64
+
+
+class AddressSpace:
+    """Bump allocator over a simulated byte address space."""
+
+    def __init__(self, base: int = 1 << 20):
+        self._next = base
+        self.allocations: List[tuple] = []  # (name, base, nbytes)
+
+    def alloc(self, nbytes: int, name: str = "anon", align: int = _ALIGN) -> int:
+        """Reserve ``nbytes`` (aligned) and return the base address."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        base = -(-self._next // align) * align
+        self._next = base + nbytes
+        self.allocations.append((name, base, nbytes))
+        return base
+
+    def total_allocated(self) -> int:
+        return sum(nbytes for _, _, nbytes in self.allocations)
+
+
+class TracedArray:
+    """A numpy-backed array living at a simulated address.
+
+    ``get(i, tracer)`` charges the tracer for the load and returns the
+    element as a native Python scalar (a plain list mirror is kept because
+    Python-level comparisons on native ints are several times faster than
+    on numpy scalars, and traced lookups are executed element-at-a-time).
+
+    ``values`` exposes the raw numpy array for vectorized, untraced use
+    (e.g. building other structures, or batch validity checks).
+    """
+
+    __slots__ = ("values", "base", "itemsize", "name", "_py")
+
+    def __init__(self, values: np.ndarray, base: int, name: str = "array"):
+        if values.ndim != 1:
+            raise ValueError("TracedArray is one-dimensional")
+        self.values = values
+        self.base = base
+        self.itemsize = values.dtype.itemsize
+        self.name = name
+        self._py = values.tolist()
+
+    @classmethod
+    def allocate(
+        cls,
+        space: AddressSpace,
+        values: Union[np.ndarray, Sequence],
+        name: str = "array",
+        dtype: Optional[np.dtype] = None,
+    ) -> "TracedArray":
+        arr = np.asarray(values, dtype=dtype)
+        base = space.alloc(arr.nbytes, name=name)
+        return cls(arr, base, name=name)
+
+    def __len__(self) -> int:
+        return len(self._py)
+
+    @property
+    def nbytes(self) -> int:
+        return self.values.nbytes
+
+    def addr(self, i: int) -> int:
+        return self.base + i * self.itemsize
+
+    def get(self, i: int, tracer) -> Union[int, float]:
+        """Read element ``i``, charging ``tracer`` for the load."""
+        tracer.read(self.base + i * self.itemsize, self.itemsize)
+        return self._py[i]
+
+    def get_untraced(self, i: int) -> Union[int, float]:
+        return self._py[i]
+
+    def touch(self, i: int, tracer) -> None:
+        """Charge a load of element ``i`` without returning it."""
+        tracer.read(self.base + i * self.itemsize, self.itemsize)
+
+    def get_block(self, start: int, count: int, tracer) -> list:
+        """Read ``count`` consecutive elements as one contiguous access.
+
+        Used for multi-field records (e.g. an RMI leaf's slope/intercept/
+        error) that occupy adjacent bytes: the tracer sees a single read
+        spanning the record, touching one or two cache lines.
+        """
+        tracer.read(self.base + start * self.itemsize, count * self.itemsize)
+        return self._py[start : start + count]

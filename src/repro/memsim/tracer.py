@@ -1,0 +1,125 @@
+"""Tracer interface: the single instrumentation hook used by all indexes.
+
+Every index's ``lookup`` is written once against this interface.  During
+wall-clock benchmarking the no-op :data:`NULL_TRACER` is passed; during
+paper-shape experiments a :class:`PerfTracer` (cache hierarchy + branch
+predictor + instruction counter) is passed.  There are deliberately no
+separate "fast" and "measured" code paths that could diverge.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.memsim.branch import BranchPredictor
+from repro.memsim.cache import LINE_SIZE, CacheHierarchy
+from repro.memsim.counters import PerfCounters
+from repro.memsim.tlb import TLB
+
+
+class Tracer:
+    """Abstract instrumentation sink.
+
+    Methods
+    -------
+    read(addr, size):
+        A data-dependent memory read of ``size`` bytes at byte address
+        ``addr``.  Reads crossing a cache-line boundary count as two line
+        accesses.
+    instr(n):
+        ``n`` retired arithmetic/logic instructions.
+    branch(site, taken):
+        A conditional branch at static site ``site`` with outcome ``taken``.
+    """
+
+    def read(self, addr: int, size: int = 8) -> None:
+        raise NotImplementedError
+
+    def instr(self, n: int = 1) -> None:
+        raise NotImplementedError
+
+    def branch(self, site: str, taken: bool) -> None:
+        raise NotImplementedError
+
+
+class NullTracer(Tracer):
+    """No-op tracer for wall-clock runs."""
+
+    __slots__ = ()
+
+    def read(self, addr: int, size: int = 8) -> None:
+        pass
+
+    def instr(self, n: int = 1) -> None:
+        pass
+
+    def branch(self, site: str, taken: bool) -> None:
+        pass
+
+
+#: Shared no-op tracer instance (stateless, safe to share).
+NULL_TRACER = NullTracer()
+
+
+class PerfTracer(Tracer):
+    """Counting tracer backed by a cache hierarchy and branch predictor."""
+
+    __slots__ = ("counters", "caches", "predictor", "tlb")
+
+    def __init__(
+        self,
+        caches: Optional[CacheHierarchy] = None,
+        predictor: Optional[BranchPredictor] = None,
+        tlb: Optional[TLB] = None,
+    ):
+        self.counters = PerfCounters()
+        self.caches = caches if caches is not None else CacheHierarchy()
+        self.predictor = predictor if predictor is not None else BranchPredictor()
+        self.tlb = tlb if tlb is not None else TLB()
+
+    def read(self, addr: int, size: int = 8) -> None:
+        c = self.counters
+        c.reads += 1
+        c.instructions += 1  # the load instruction itself
+        if not self.tlb.access_addr(addr):
+            # Page walk: one PTE read through the data caches.
+            c.tlb_misses += 1
+            walk_line = TLB.walk_addr(addr) // LINE_SIZE
+            level = self.caches.access_line(walk_line)
+            if level == 1:
+                c.l1_hits += 1
+            elif level == 2:
+                c.l2_hits += 1
+            elif level == 3:
+                c.l3_hits += 1
+            else:
+                c.llc_misses += 1
+        first_line = addr // LINE_SIZE
+        last_line = (addr + size - 1) // LINE_SIZE
+        for line in range(first_line, last_line + 1):
+            level = self.caches.access_line(line)
+            if level == 1:
+                c.l1_hits += 1
+            elif level == 2:
+                c.l2_hits += 1
+            elif level == 3:
+                c.l3_hits += 1
+            else:
+                c.llc_misses += 1
+
+    def instr(self, n: int = 1) -> None:
+        self.counters.instructions += n
+
+    def branch(self, site: str, taken: bool) -> None:
+        c = self.counters
+        c.branches += 1
+        c.instructions += 1
+        if not self.predictor.predict_and_update(site, taken):
+            c.branch_misses += 1
+
+    def snapshot(self) -> PerfCounters:
+        return self.counters.copy()
+
+    def flush_caches(self) -> None:
+        self.caches.flush()
+        self.tlb.flush()

@@ -1,0 +1,15 @@
+"""Last-mile search functions (Section 2 / Figure 11)."""
+
+from repro.search.last_mile import (
+    SEARCH_FUNCTIONS,
+    binary_search,
+    interpolation_search,
+    linear_search,
+)
+
+__all__ = [
+    "binary_search",
+    "linear_search",
+    "interpolation_search",
+    "SEARCH_FUNCTIONS",
+]

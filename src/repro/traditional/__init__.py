@@ -1,0 +1,22 @@
+"""Traditional baselines: trees, tries, hybrid and naive search structures."""
+
+from repro.traditional.binary_search import BinarySearchIndex
+from repro.traditional.radix_binary_search import RadixBinarySearchIndex
+from repro.traditional.btree import BTreeIndex, IBTreeIndex
+from repro.traditional.fast import FASTIndex
+from repro.traditional.art import ARTIndex
+from repro.traditional.fst import FSTIndex
+from repro.traditional.wormhole import WormholeIndex
+from repro.traditional.base import SampledIndex
+
+__all__ = [
+    "BinarySearchIndex",
+    "RadixBinarySearchIndex",
+    "BTreeIndex",
+    "IBTreeIndex",
+    "FASTIndex",
+    "ARTIndex",
+    "FSTIndex",
+    "WormholeIndex",
+    "SampledIndex",
+]

@@ -1,0 +1,287 @@
+"""Adaptive radix tree (ART), Leis et al. / ICDE'13.
+
+A byte-wise radix trie over the sampled keys with the four adaptive node
+kinds of the paper (Node4 / Node16 / Node48 / Node256), path compression,
+and lazy expansion (single-key subtrees become leaves immediately).  Keys
+are indexed big-endian, one byte per level; 32-bit data gives a 4-level
+trie (the tree-structure gain in the paper's Figure 10).
+
+Lookups are *predecessor* searches (largest sampled key <= lookup key):
+the descent tracks the byte-wise comparison exactly, and on divergence
+either finishes at the current subtree's rightmost leaf (when the lookup
+key exceeds the whole subtree) or at the rightmost leaf of the largest
+smaller sibling recorded on the way down.  Every node visit charges the
+tracer for the header/prefix read, the child-array search and the child
+pointer read, with node memory footprints from the ART paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.interface import Capabilities
+from repro.core.registry import register_index
+from repro.memsim.memory import AddressSpace, TracedArray
+from repro.memsim.tracer import Tracer
+from repro.traditional.base import SampledIndex, sample_keys
+
+_HEADER = 16  # type/prefix-length/prefix bytes
+
+# (max children, bytes) per node kind, following the ART paper's layouts.
+_KINDS = (
+    (4, _HEADER + 4 + 4 * 8),
+    (16, _HEADER + 16 + 16 * 8),
+    (48, _HEADER + 256 + 48 * 8),
+    (256, _HEADER + 256 * 8),
+)
+_LEAF_BYTES = 16  # full key + sampled index
+
+
+class _Node:
+    __slots__ = (
+        "prefix",
+        "child_bytes",
+        "children",
+        "addr",
+        "is_leaf",
+        "leaf_idx",
+        "leaf_key",
+        "kind_cap",
+    )
+
+    def __init__(self):
+        self.prefix: bytes = b""
+        self.child_bytes: List[int] = []
+        self.children: List["_Node"] = []
+        self.addr = 0
+        self.is_leaf = False
+        self.leaf_idx = -1
+        self.leaf_key = 0
+        self.kind_cap = 4
+
+
+def _kind_for(n_children: int):
+    for cap, size in _KINDS:
+        if n_children <= cap:
+            return cap, size
+    raise AssertionError("more than 256 children is impossible")
+
+
+@register_index
+class ARTIndex(SampledIndex):
+    """ART over a subset of the keys.
+
+    ``sampling="uniform"`` inserts every ``gap``-th key (the paper's
+    universal technique).  ``sampling="adaptive"`` implements the paper's
+    suggested structure-specific alternative ("ART may admit a smarter
+    method in which keys are retained or discarded based on the fill
+    level of a node", Section 4.1.1): it retains the first key of every
+    distinct high-bit prefix, choosing the prefix width so that roughly
+    ``n / gap`` keys survive.  Retained keys then differ in their top
+    radix bytes, which flattens the trie; the price is that search-bound
+    widths follow the key density instead of being a constant ``gap``.
+    """
+
+    name = "ART"
+    capabilities = Capabilities(updates=True, ordered=True, kind="Trie")
+
+    def __init__(self, gap: int = 1, sampling: str = "uniform"):
+        super().__init__(gap)
+        if sampling not in ("uniform", "adaptive"):
+            raise ValueError("sampling must be 'uniform' or 'adaptive'")
+        self.sampling = sampling
+        self._root: Optional[_Node] = None
+        self._width = 8
+        #: Data position of each sample (adaptive mode; uniform derives
+        #: positions as j * gap).
+        self._sample_pos: Optional[List[int]] = None
+
+    # -- construction -----------------------------------------------------
+
+    def _adaptive_samples(self, data: TracedArray):
+        """First key of each distinct prefix, targeting ~n/gap samples."""
+        keys = data.values
+        n = len(keys)
+        target = max(n // self.gap, 1)
+        bits = 8 * keys.dtype.itemsize
+        for shift in range(bits - 1, -1, -1):
+            prefixes = keys >> np.uint64(shift) if shift else keys
+            # Sorted input: distinct prefixes are run starts.
+            starts = np.nonzero(
+                np.concatenate(([True], prefixes[1:] != prefixes[:-1]))
+            )[0]
+            if len(starts) >= target or shift == 0:
+                return keys[starts], starts
+        raise AssertionError("unreachable")
+
+    def _build(self, data: TracedArray, space: AddressSpace) -> None:
+        if self.sampling == "adaptive" and self.gap > 1:
+            samples, positions = self._adaptive_samples(data)
+            self._sample_pos = [int(p) for p in positions]
+        else:
+            samples = sample_keys(data, self.gap)
+            self._sample_pos = None
+        self._n_samples = len(samples)
+        self._width = samples.dtype.itemsize
+        # Big-endian byte matrix: column d is the d-th most significant byte.
+        key_bytes = (
+            samples.astype(f">u{self._width}")
+            .view(np.uint8)
+            .reshape(len(samples), self._width)
+        )
+        keys_py = [int(k) for k in samples]
+        self._root = self._build_node(key_bytes, keys_py, 0, len(keys_py), 0, space)
+
+    def lookup(self, key, tracer=None):
+        from repro.core.bounds import SearchBound
+        from repro.memsim.tracer import NULL_TRACER
+
+        if tracer is None:
+            tracer = NULL_TRACER
+        if self._sample_pos is None:
+            return super().lookup(key, tracer)
+        n = self.n_keys
+        j = self._predecessor(int(key), tracer)
+        if j < 0:
+            return SearchBound(0, 1)
+        lo = self._sample_pos[j]
+        hi = (
+            self._sample_pos[j + 1]
+            if j + 1 < len(self._sample_pos)
+            else n
+        )
+        return SearchBound(lo, min(hi, n) + 1)
+
+    def _build_node(
+        self,
+        kb: np.ndarray,
+        keys: List[int],
+        lo: int,
+        hi: int,
+        depth: int,
+        space: AddressSpace,
+    ) -> _Node:
+        node = _Node()
+        if hi - lo == 1:
+            node.is_leaf = True
+            node.leaf_idx = lo
+            node.leaf_key = keys[lo]
+            node.addr = space.alloc(_LEAF_BYTES, name="art.leaf")
+            self._register_bytes(_LEAF_BYTES)
+            return node
+
+        # Path compression: the group's common prefix beyond `depth` (the
+        # group is sorted, so comparing first and last suffices).
+        first, last = kb[lo], kb[hi - 1]
+        d = depth
+        while d < self._width and first[d] == last[d]:
+            d += 1
+        node.prefix = bytes(first[depth:d])
+
+        # Split children by the byte at position d (sorted within group).
+        col = kb[lo:hi, d]
+        split_bytes, starts = np.unique(col, return_index=True)
+        bounds = list(starts) + [hi - lo]
+        for i, byte in enumerate(split_bytes):
+            child = self._build_node(
+                kb, keys, lo + bounds[i], lo + bounds[i + 1], d + 1, space
+            )
+            node.child_bytes.append(int(byte))
+            node.children.append(child)
+
+        cap, size = _kind_for(len(node.children))
+        node.kind_cap = cap
+        node.addr = space.alloc(size, name=f"art.node{cap}")
+        self._register_bytes(size)
+        return node
+
+    # -- lookup ------------------------------------------------------------
+
+    def _visit_cost(self, node: _Node, tracer: Tracer) -> None:
+        """Charge header + prefix read and the child-array search."""
+        tracer.read(node.addr, _HEADER)
+        tracer.instr(3 + len(node.prefix))
+        if node.is_leaf:
+            return
+        cap = node.kind_cap
+        if cap == 4:
+            tracer.read(node.addr + _HEADER, 4)
+            tracer.instr(4)
+        elif cap == 16:
+            tracer.read(node.addr + _HEADER, 16)
+            tracer.instr(3)  # SIMD compare + movemask + ctz
+        elif cap == 48:
+            tracer.read(node.addr + _HEADER, 1)
+            tracer.instr(2)
+        else:
+            tracer.instr(1)
+
+    def _child_read(self, node: _Node, slot: int, tracer: Tracer) -> None:
+        offset = _HEADER + (0 if node.kind_cap == 256 else node.kind_cap)
+        tracer.read(node.addr + offset + slot * 8, 8)
+
+    def _rightmost_leaf(self, node: _Node, tracer: Tracer) -> int:
+        """Sampled index of the subtree's largest key (walks right spine)."""
+        while not node.is_leaf:
+            self._visit_cost(node, tracer)
+            slot = len(node.children) - 1
+            self._child_read(node, slot, tracer)
+            node = node.children[slot]
+        tracer.read(node.addr, _LEAF_BYTES)
+        return node.leaf_idx
+
+    def _predecessor(self, key: int, tracer: Tracer) -> int:
+        if key < 0:
+            return -1
+        kb = int(key).to_bytes(self._width, "big") if key < (1 << (8 * self._width)) else None
+        if kb is None:
+            # Larger than any storable key: predecessor is the global max.
+            return self._rightmost_leaf(self._root, tracer)
+        node = self._root
+        depth = 0
+        best: Optional[_Node] = None  # largest smaller sibling passed
+        while True:
+            self._visit_cost(node, tracer)
+            # Prefix comparison (path compression).
+            prefix = node.prefix if not node.is_leaf else b""
+            for i, pb in enumerate(prefix):
+                cb = kb[depth + i]
+                if cb == pb:
+                    continue
+                tracer.branch("art.prefix", True)
+                if cb > pb:
+                    return self._rightmost_leaf(node, tracer)
+                return self._rightmost_leaf(best, tracer) if best else -1
+            depth += len(prefix)
+
+            if node.is_leaf:
+                tracer.read(node.addr, _LEAF_BYTES)
+                tracer.branch("art.leafcmp", key >= node.leaf_key)
+                if key >= node.leaf_key:
+                    return node.leaf_idx
+                return self._rightmost_leaf(best, tracer) if best else -1
+
+            b = kb[depth]
+            # Child slot search (cost charged in _visit_cost).
+            slot = -1
+            smaller = -1
+            for i, cb in enumerate(node.child_bytes):
+                if cb == b:
+                    slot = i
+                elif cb < b:
+                    smaller = i
+                else:
+                    break
+            if smaller >= 0:
+                best = node.children[smaller]
+            tracer.branch("art.childhit", slot >= 0)
+            if slot < 0:
+                if smaller >= 0:
+                    self._child_read(node, smaller, tracer)
+                    return self._rightmost_leaf(node.children[smaller], tracer)
+                return self._rightmost_leaf(best, tracer) if best else -1
+            self._child_read(node, slot, tracer)
+            node = node.children[slot]
+            depth += 1

@@ -1,0 +1,70 @@
+"""Shared machinery for "traditional" structures built over sampled keys.
+
+The paper tunes every tree structure's size/accuracy tradeoff by inserting
+every ``gap``-th key (Section 4.1.1): a tree holding every second key can
+be half the size but any returned location may be off by one.  A structure
+that finds the *predecessor sampled key* of a lookup key can bound the
+lower bound position to a window of ``gap + 1`` positions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.bounds import SearchBound
+from repro.core.interface import SortedDataIndex
+from repro.memsim.memory import TracedArray
+from repro.memsim.tracer import NULL_TRACER, Tracer
+
+
+def sample_keys(data: TracedArray, gap: int) -> np.ndarray:
+    """Every ``gap``-th key (always including the first)."""
+    if gap < 1:
+        raise ValueError("gap must be >= 1")
+    return data.values[::gap]
+
+
+def key_dtype(data: TracedArray) -> np.dtype:
+    """Storage dtype for keys: uint32 when the data is 32-bit.
+
+    This is how the paper's key-size experiment (Figure 10) manifests for
+    tree structures: 32-bit keys pack twice as many entries per cache
+    line.
+    """
+    return data.values.dtype
+
+
+class SampledIndex(SortedDataIndex):
+    """Base class: maps a predecessor *sampled* index to a search bound.
+
+    Subclasses implement ``_predecessor(key, tracer) -> int`` returning the
+    largest sampled index ``j`` with ``sample[j] <= key``, or ``-1`` when
+    the key precedes every sampled key.
+    """
+
+    def __init__(self, gap: int = 1):
+        super().__init__()
+        if gap < 1:
+            raise ValueError("gap must be >= 1")
+        self.gap = int(gap)
+        self._n_samples = 0
+
+    def _predecessor(self, key: int, tracer: Tracer) -> int:
+        raise NotImplementedError
+
+    def lookup(self, key: int, tracer: Tracer = NULL_TRACER) -> SearchBound:
+        n = self.n_keys
+        j = self._predecessor(int(key), tracer)
+        if j < 0:
+            return SearchBound(0, 1)
+        lo = j * self.gap
+        hi = min((j + 1) * self.gap, n) + 1
+        return SearchBound(lo, hi)
+
+    @classmethod
+    def size_sweep_configs(cls, n_keys: int) -> List[dict]:
+        """Size sweep by sampling interval (Figure 7)."""
+        gaps = [512, 256, 128, 64, 32, 16, 8, 4, 2, 1]
+        return [{"gap": g} for g in gaps if n_keys // g >= 4]

@@ -1,0 +1,37 @@
+"""Binary search (BS) baseline: the zero-size index.
+
+BS returns the trivial full bound; all work happens in the last-mile
+search over the data array.  It is the paper's horizontal reference line
+in Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.bounds import SearchBound
+from repro.core.interface import Capabilities, SortedDataIndex
+from repro.core.registry import register_index
+from repro.memsim.memory import AddressSpace, TracedArray
+from repro.memsim.tracer import NULL_TRACER, Tracer
+
+
+@register_index
+class BinarySearchIndex(SortedDataIndex):
+    """The no-index baseline: bound = the whole array."""
+
+    name = "BS"
+    capabilities = Capabilities(updates=False, ordered=True, kind="Binary search")
+
+    def _build(self, data: TracedArray, space: AddressSpace) -> None:
+        pass
+
+    def lookup(self, key: int, tracer: Tracer = NULL_TRACER) -> SearchBound:
+        return SearchBound(0, self.n_keys + 1)
+
+    def size_bytes(self) -> int:
+        return 0
+
+    @classmethod
+    def size_sweep_configs(cls, n_keys: int) -> List[dict]:
+        return [{}]

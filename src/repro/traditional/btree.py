@@ -1,0 +1,148 @@
+"""Array-packed B+-tree (the STX B-Tree baseline) and interpolating variant.
+
+Bulk-loaded over the sampled keys: the leaf level is the sampled key array
+itself; each upper level stores the first key of every node below, so a
+node's children occupy a contiguous slice of the next level (the classic
+implicit layout of a bulk-loaded, fully-packed B+-tree).  Nodes hold
+``fanout`` keys (default 16 -> 128 bytes, two cache lines of 64-bit keys;
+one line of 32-bit keys, which is why trees gain from 32-bit keys in the
+paper's Figure 10).
+
+Descent performs a within-node predecessor search per level; the IBTree
+(Graefe) replaces that with interpolation probes inside the node, cutting
+comparisons on smoothly-distributed keys.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+
+from repro.core.interface import Capabilities
+from repro.core.registry import register_index
+from repro.memsim.memory import AddressSpace, TracedArray
+from repro.memsim.tracer import Tracer
+from repro.traditional.base import SampledIndex, key_dtype, sample_keys
+
+_NODE_SEARCH_STEP_INSTR = 5
+_DESCEND_INSTR = 3
+_INTERP_PROBE_INSTR = 10
+
+
+class _BTreeBase(SampledIndex):
+    """Shared bulk-loaded structure; subclasses choose the node search."""
+
+    def __init__(self, gap: int = 1, fanout: int = 16):
+        super().__init__(gap)
+        if fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        self.fanout = int(fanout)
+        #: Levels from leaf (index 0, the sampled keys) to root (last).
+        self._levels: List[TracedArray] = []
+
+    def _build(self, data: TracedArray, space: AddressSpace) -> None:
+        samples = sample_keys(data, self.gap).astype(key_dtype(data))
+        self._n_samples = len(samples)
+        levels = [samples]
+        while len(levels[-1]) > self.fanout:
+            levels.append(levels[-1][:: self.fanout])
+        self._levels = [
+            self._register(
+                TracedArray.allocate(space, arr, name=f"btree.level{d}")
+            )
+            for d, arr in enumerate(levels)
+        ]
+
+    def _node_predecessor(
+        self, level: TracedArray, lo: int, hi: int, key: int, tracer: Tracer
+    ) -> int:
+        """Largest index in [lo, hi) whose key is <= the lookup key.
+
+        Returns lo - 1 if every key in the window exceeds the lookup key.
+        """
+        raise NotImplementedError
+
+    def _predecessor(self, key: int, tracer: Tracer) -> int:
+        levels = self._levels
+        root = levels[-1]
+        pos = self._node_predecessor(root, 0, len(root), key, tracer)
+        if pos < 0:
+            return -1
+        for depth in range(len(levels) - 2, -1, -1):
+            level = levels[depth]
+            tracer.instr(_DESCEND_INSTR)
+            lo = pos * self.fanout
+            hi = min(lo + self.fanout, len(level))
+            pos = self._node_predecessor(level, lo, hi, key, tracer)
+            # level[lo] equals the parent separator, which was <= key.
+        return pos
+
+
+@register_index
+class BTreeIndex(_BTreeBase):
+    """STX-style B+-tree: binary search within each node."""
+
+    name = "BTree"
+    capabilities = Capabilities(updates=True, ordered=True, kind="Tree")
+
+    def _node_predecessor(
+        self, level: TracedArray, lo: int, hi: int, key: int, tracer: Tracer
+    ) -> int:
+        # Find the first slot whose key exceeds the lookup key, then step
+        # back one.
+        left, right = lo, hi
+        while left < right:
+            mid = (left + right) // 2
+            tracer.instr(_NODE_SEARCH_STEP_INSTR)
+            goes_right = level.get(mid, tracer) <= key
+            tracer.branch("btree.node", goes_right)
+            if goes_right:
+                left = mid + 1
+            else:
+                right = mid
+        return left - 1
+
+
+@register_index
+class IBTreeIndex(_BTreeBase):
+    """Interpolating B-Tree: interpolation probes within each node."""
+
+    name = "IBTree"
+    capabilities = Capabilities(updates=True, ordered=True, kind="Tree")
+
+    def _node_predecessor(
+        self, level: TracedArray, lo: int, hi: int, key: int, tracer: Tracer
+    ) -> int:
+        first = level.get(lo, tracer)
+        tracer.branch("ibtree.low", key < first)
+        if key < first:
+            return lo - 1
+        last = level.get(hi - 1, tracer)
+        tracer.branch("ibtree.high", key >= last)
+        if key >= last:
+            return hi - 1
+        # Interpolate, then fix up with a short sequential scan.
+        tracer.instr(_INTERP_PROBE_INSTR)
+        span = last - first
+        probe = lo + int((hi - 1 - lo) * (key - first) / span) if span else lo
+        probe = min(max(probe, lo), hi - 2)
+        if level.get(probe, tracer) <= key:
+            pos = probe
+            while pos + 1 < hi:
+                tracer.instr(2)
+                step = level.get(pos + 1, tracer) <= key
+                tracer.branch("ibtree.scan", step)
+                if not step:
+                    break
+                pos += 1
+            return pos
+        pos = probe - 1
+        while pos > lo:
+            tracer.instr(2)
+            stop = level.get(pos, tracer) <= key
+            tracer.branch("ibtree.scan", stop)
+            if stop:
+                break
+            pos -= 1
+        return pos if level.get_untraced(pos) <= key else lo - 1

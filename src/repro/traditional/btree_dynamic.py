@@ -1,0 +1,166 @@
+"""A classic updatable in-memory B+-tree.
+
+The paper's conclusion: "As more learned index structures begin to
+support updates, a benchmark against traditional indexes (which are often
+optimized for updates) could be fruitful."  The mixed read/write harness
+(:mod:`repro.bench.readwrite`) needs exactly that traditional opponent;
+this is a textbook B+-tree -- sorted keys per node, split-on-overflow,
+values only at the leaves, leaf chaining for range scans.
+
+Unlike the read-only benchmark structures this owns its key/value data
+(compare :class:`repro.learned.dynamic_pgm.DynamicPGM` and
+:class:`repro.learned.alex.AlexIndex`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Tuple
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self):
+        self.keys: List[int] = []
+        self.values: List[int] = []
+        self.next: Optional["_Leaf"] = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self):
+        #: children[i] holds keys < keys[i]; children[-1] the rest.
+        self.keys: List[int] = []
+        self.children: List[object] = []
+
+
+class DynamicBTree:
+    """Updatable B+-tree mapping int keys to int values.
+
+    Parameters
+    ----------
+    fanout:
+        Maximum keys per node (minimum 4); nodes split at overflow.
+    """
+
+    def __init__(self, fanout: int = 32):
+        if fanout < 4:
+            raise ValueError("fanout must be >= 4")
+        self.fanout = fanout
+        self._root: object = _Leaf()
+        self._n = 0
+        self._height = 1
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def bulk_load(cls, keys, values, fanout: int = 32) -> "DynamicBTree":
+        tree = cls(fanout)
+        prev = None
+        for key, value in zip(keys, values):
+            if prev is not None and int(key) <= prev:
+                raise ValueError("bulk_load expects strictly increasing keys")
+            prev = int(key)
+            tree.insert(prev, int(value))
+        return tree
+
+    # -- queries -------------------------------------------------------------
+
+    def _find_leaf(self, key: int) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            slot = bisect.bisect_right(node.keys, key)
+            node = node.children[slot]
+        return node
+
+    def get(self, key: int) -> Optional[int]:
+        key = int(key)
+        leaf = self._find_leaf(key)
+        slot = bisect.bisect_left(leaf.keys, key)
+        if slot < len(leaf.keys) and leaf.keys[slot] == key:
+            return leaf.values[slot]
+        return None
+
+    def range(self, lo: int, hi: int) -> Iterator[Tuple[int, int]]:
+        """(key, value) for lo <= key < hi, ascending (leaf chaining)."""
+        leaf = self._find_leaf(int(lo))
+        slot = bisect.bisect_left(leaf.keys, int(lo))
+        while leaf is not None:
+            while slot < len(leaf.keys):
+                key = leaf.keys[slot]
+                if key >= hi:
+                    return
+                yield key, leaf.values[slot]
+                slot += 1
+            leaf = leaf.next
+            slot = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    # -- mutation --------------------------------------------------------------
+
+    def insert(self, key: int, value: int) -> None:
+        key = int(key)
+        split = self._insert_into(self._root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Internal()
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self._height += 1
+
+    def _insert_into(self, node, key: int, value: int):
+        """Insert under ``node``; return (separator, new right sibling) on split."""
+        if isinstance(node, _Leaf):
+            slot = bisect.bisect_left(node.keys, key)
+            if slot < len(node.keys) and node.keys[slot] == key:
+                node.values[slot] = value
+                return None
+            node.keys.insert(slot, key)
+            node.values.insert(slot, value)
+            self._n += 1
+            if len(node.keys) <= self.fanout:
+                return None
+            mid = len(node.keys) // 2
+            right = _Leaf()
+            right.keys = node.keys[mid:]
+            right.values = node.values[mid:]
+            right.next = node.next
+            node.keys = node.keys[:mid]
+            node.values = node.values[:mid]
+            node.next = right
+            return right.keys[0], right
+
+        slot = bisect.bisect_right(node.keys, key)
+        split = self._insert_into(node.children[slot], key, value)
+        if split is None:
+            return None
+        sep, right_child = split
+        node.keys.insert(slot, sep)
+        node.children.insert(slot + 1, right_child)
+        if len(node.keys) <= self.fanout:
+            return None
+        mid = len(node.keys) // 2
+        right = _Internal()
+        sep_up = node.keys[mid]
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep_up, right
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        while node is not None:
+            yield from zip(node.keys, node.values)
+            node = node.next

@@ -1,0 +1,150 @@
+"""ALEX-style updatable learned index extension."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learned.alex import AlexIndex, _DataNode
+
+
+class TestDataNode:
+    def test_bulk_and_find(self):
+        keys = list(range(0, 100, 3))
+        node = _DataNode.bulk_load(keys, [k * 2 for k in keys], 0.7, 0.85)
+        for k in keys:
+            assert node.find(k) == k * 2
+        assert node.find(1) is None
+        assert node.find(1000) is None
+
+    def test_insert_preserves_order(self):
+        node = _DataNode.bulk_load([10, 20, 30], [1, 2, 3], 0.5, 0.9)
+        assert node.insert(25, 99)
+        stored = [k for k, _ in node.items()]
+        assert stored == [10, 20, 25, 30]
+        assert node.find(25) == 99
+
+    def test_overwrite_does_not_grow(self):
+        node = _DataNode.bulk_load([1, 2, 3], [0, 0, 0], 0.5, 0.9)
+        n_before = node.n
+        assert node.insert(2, 42)
+        assert node.n == n_before
+        assert node.find(2) == 42
+
+    def test_refuses_when_too_dense(self):
+        node = _DataNode.bulk_load(list(range(8)), [0] * 8, 0.9, 0.9)
+        filled = 0
+        while node.insert(1000 + filled, 0):
+            filled += 1
+            assert filled < 100  # must refuse eventually
+        assert node.n / node.capacity > 0.8
+
+    def test_shift_through_gap(self):
+        # Force a dense cluster with a distant gap.
+        node = _DataNode(capacity=8, max_density=0.9)
+        for slot, key in [(0, 10), (1, 20), (2, 30), (3, 40)]:
+            node.keys[slot] = key
+            node.values[slot] = key
+            node.n += 1
+        assert node.insert(25, 25)
+        stored = [k for k, _ in node.items()]
+        assert stored == [10, 20, 25, 30, 40]
+
+
+class TestAlexIndex:
+    def test_bulk_load_and_get(self):
+        keys = sorted(random.Random(1).sample(range(10**9), 5_000))
+        alex = AlexIndex.bulk_load(keys, [k % 97 for k in keys], n_buckets=64)
+        for k in keys[::37]:
+            assert alex.get(k) == k % 97
+        assert alex.get(keys[0] - 1) is None
+        assert len(alex) == 5_000
+
+    def test_bulk_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            AlexIndex.bulk_load([3, 1, 2], [0, 0, 0])
+
+    def test_insert_into_empty(self):
+        alex = AlexIndex(n_buckets=16)
+        alex.insert(5, 50)
+        assert alex.get(5) == 50
+        assert len(alex) == 1
+
+    def test_skewed_inserts_trigger_splits(self):
+        keys = sorted(random.Random(2).sample(range(10**9), 2_000))
+        alex = AlexIndex.bulk_load(
+            keys, [0] * len(keys), n_buckets=64, target_node_keys=128
+        )
+        nodes_before = alex.n_data_nodes
+        base = keys[1_000]
+        for i in range(1, 2_000):
+            alex.insert(base + i, i)
+        assert alex.n_data_nodes > nodes_before
+        for i in range(1, 2_000, 97):
+            assert alex.get(base + i) == i
+
+    def test_items_sorted(self):
+        keys = sorted(random.Random(3).sample(range(10**8), 1_000))
+        alex = AlexIndex.bulk_load(keys, keys, n_buckets=32)
+        out = [k for k, _ in alex.items()]
+        assert out == keys
+
+    def test_range(self):
+        keys = list(range(0, 1_000, 7))
+        alex = AlexIndex.bulk_load(keys, keys, n_buckets=16)
+        out = [k for k, _ in alex.range(100, 300)]
+        assert out == [k for k in keys if 100 <= k < 300]
+
+    def test_monotone_inserts(self):
+        alex = AlexIndex(n_buckets=16, target_node_keys=64)
+        for i in range(3_000):
+            alex.insert(i * 5, i)
+        assert len(alex) == 3_000
+        for i in range(0, 3_000, 113):
+            assert alex.get(i * 5) == i
+        assert alex.get(3) is None
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            AlexIndex(n_buckets=0)
+        with pytest.raises(ValueError):
+            AlexIndex(density=0.9, max_density=0.8)
+
+
+class TestAlexPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2**40), st.integers(0, 2**20)),
+            min_size=1,
+            max_size=400,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_dict_semantics(self, ops):
+        alex = AlexIndex(n_buckets=16, target_node_keys=32)
+        reference = {}
+        for key, value in ops:
+            alex.insert(key, value)
+            reference[key] = value
+        assert len(alex) == len(reference)
+        for key in list(reference)[:60]:
+            assert alex.get(key) == reference[key]
+        assert [k for k, _ in alex.items()] == sorted(reference)
+
+    @given(st.lists(st.integers(0, 2**50), min_size=2, max_size=300, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_bulk_then_insert_interleaved(self, raw_keys):
+        raw_keys.sort()
+        half = len(raw_keys) // 2
+        alex = AlexIndex.bulk_load(
+            raw_keys[:half] or [0], list(range(half or 1)), n_buckets=8,
+            target_node_keys=16,
+        )
+        reference = dict(zip(raw_keys[:half] or [0], range(half or 1)))
+        for i, key in enumerate(raw_keys[half:]):
+            alex.insert(key, 10_000 + i)
+            reference[key] = 10_000 + i
+        for key, value in reference.items():
+            assert alex.get(key) == value

@@ -1,0 +1,87 @@
+"""Adaptive radix tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.validation import validate_index
+from repro.traditional.art import ARTIndex, _KINDS, _kind_for
+
+from conftest import build
+
+
+class TestARTValidity:
+    @pytest.mark.parametrize("gap", [1, 4, 32])
+    def test_valid_on_all_datasets(self, all_datasets_small, gap):
+        for name, ds in all_datasets_small.items():
+            idx = build("ART", ds, gap=gap)
+            probes = list(ds.keys[::39]) + [0, 2**64 - 1]
+            assert validate_index(idx, probes) is None, name
+
+    def test_valid_on_absent_keys(self, amzn_small, amzn_workload):
+        idx = build("ART", amzn_small, gap=2)
+        assert validate_index(idx, amzn_workload.keys_py) is None
+
+    def test_extreme_probes(self, amzn_small, extreme_probe_keys):
+        idx = build("ART", amzn_small, gap=2)
+        assert validate_index(idx, extreme_probe_keys) is None
+
+    def test_dense_consecutive_keys(self):
+        keys = np.arange(1000, 2000, dtype=np.uint64)
+        idx = ARTIndex(gap=1).build(keys)
+        probes = [0, 999, 1000, 1500, 1999, 2000, 2**64 - 1]
+        assert validate_index(idx, probes) is None
+
+    def test_keys_sharing_long_prefixes(self):
+        base = 0xDEADBEEF00000000
+        keys = np.array(sorted(base + np.uint64(i) for i in range(256)), dtype=np.uint64)
+        idx = ARTIndex(gap=1).build(keys)
+        assert validate_index(idx, [0, base - 1, base, base + 128, base + 255, base + 256, 2**64 - 1]) is None
+
+    @given(
+        st.lists(st.integers(0, 2**64 - 1), min_size=2, max_size=200, unique=True),
+        st.integers(0, 2**64 - 1),
+        st.sampled_from([1, 4]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_validity_property(self, keys, probe, gap):
+        keys.sort()
+        idx = ARTIndex(gap=gap).build(np.array(keys, dtype=np.uint64))
+        assert validate_index(idx, [probe]) is None
+
+
+class TestARTStructure:
+    def test_kind_selection(self):
+        assert _kind_for(1)[0] == 4
+        assert _kind_for(4)[0] == 4
+        assert _kind_for(5)[0] == 16
+        assert _kind_for(17)[0] == 48
+        assert _kind_for(49)[0] == 256
+        with pytest.raises(AssertionError):
+            _kind_for(257)
+
+    def test_node_sizes_increase(self):
+        sizes = [size for _, size in _KINDS]
+        assert sizes == sorted(sizes)
+
+    def test_path_compression_shrinks_trie(self):
+        # Keys sharing 6 leading bytes: without path compression the trie
+        # would carry 6 chain levels per key.
+        keys = np.array(
+            sorted(0xAABBCCDDEE000000 + np.uint64(i * 251) for i in range(500)),
+            dtype=np.uint64,
+        )
+        idx = ARTIndex(gap=1).build(keys)
+        # Loose bound: well under a chain-per-key trie.
+        assert idx.size_bytes() < 500 * 200
+
+    def test_size_accounting_positive(self, amzn_small):
+        idx = build("ART", amzn_small, gap=1)
+        assert idx.size_bytes() > len(amzn_small.keys) * 16  # leaves at least
+
+    def test_32bit_keys_shallower(self, amzn_small):
+        keys32 = np.unique((amzn_small.keys >> np.uint64(20)).astype(np.uint32))
+        idx = ARTIndex(gap=1).build(keys32)
+        assert idx._width == 4
+        assert validate_index(idx, [0, int(keys32[17]), 2**32 - 1]) is None

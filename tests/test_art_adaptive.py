@@ -1,0 +1,70 @@
+"""Adaptive ART sampling (the paper's suggested structure-specific tuning)."""
+
+import bisect
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.validation import validate_index
+from repro.traditional.art import ARTIndex
+
+from conftest import build
+
+
+class TestAdaptiveValidity:
+    @pytest.mark.parametrize("gap", [2, 8, 64])
+    def test_valid_on_all_datasets(self, all_datasets_small, gap):
+        for name, ds in all_datasets_small.items():
+            idx = build("ART", ds, gap=gap, sampling="adaptive")
+            probes = list(ds.keys[::43]) + [0, 2**64 - 1]
+            assert validate_index(idx, probes) is None, name
+
+    def test_valid_on_absent_keys(self, amzn_small, amzn_workload):
+        idx = build("ART", amzn_small, gap=4, sampling="adaptive")
+        assert validate_index(idx, amzn_workload.keys_py) is None
+
+    @given(
+        st.lists(st.integers(0, 2**64 - 1), min_size=2, max_size=250, unique=True),
+        st.integers(0, 2**64 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_validity_property(self, keys, probe):
+        keys.sort()
+        idx = ARTIndex(gap=4, sampling="adaptive").build(
+            np.array(keys, dtype=np.uint64)
+        )
+        bound = idx.lookup(probe)
+        assert bound.contains(bisect.bisect_left(keys, probe))
+
+
+class TestAdaptiveStructure:
+    def test_sample_count_near_target(self, amzn_small):
+        gap = 8
+        idx = build("ART", amzn_small, gap=gap, sampling="adaptive")
+        target = amzn_small.n // gap
+        assert idx._n_samples >= target
+        assert idx._n_samples <= amzn_small.n
+
+    def test_smaller_trie_than_uniform_on_clustered_keys(self, osm_small):
+        """Prefix-aligned retention flattens the trie on clustered data."""
+        uniform = build("ART", osm_small, gap=8, sampling="uniform")
+        adaptive = build("ART", osm_small, gap=8, sampling="adaptive")
+        per_sample_u = uniform.size_bytes() / uniform._n_samples
+        per_sample_a = adaptive.size_bytes() / adaptive._n_samples
+        assert per_sample_a < per_sample_u
+
+    def test_gap1_falls_back_to_full(self, amzn_small):
+        idx = build("ART", amzn_small, gap=1, sampling="adaptive")
+        assert idx._n_samples == amzn_small.n
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ARTIndex(sampling="magic")
+
+    def test_bounds_follow_density(self, amzn_small):
+        """Adaptive bounds vary with local key density."""
+        idx = build("ART", amzn_small, gap=16, sampling="adaptive")
+        widths = {len(idx.lookup(int(k))) for k in amzn_small.keys[::101]}
+        assert len(widths) > 3  # not a constant gap

@@ -1,0 +1,84 @@
+"""SearchBound and lower-bound semantics (paper Section 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bounds import SearchBound, lower_bound_position
+
+
+class TestSearchBound:
+    def test_contains_half_open(self):
+        b = SearchBound(2, 5)
+        assert not b.contains(1)
+        assert b.contains(2)
+        assert b.contains(4)
+        assert not b.contains(5)
+
+    def test_len(self):
+        assert len(SearchBound(3, 10)) == 7
+        assert len(SearchBound(3, 3)) == 0
+
+    def test_negative_lo_rejected(self):
+        with pytest.raises(ValueError):
+            SearchBound(-1, 4)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            SearchBound(5, 4)
+
+    def test_clamp_inside(self):
+        assert SearchBound(2, 5).clamp(100) == SearchBound(2, 5)
+
+    def test_clamp_hi_overflow(self):
+        assert SearchBound(2, 500).clamp(10) == SearchBound(2, 11)
+
+    def test_clamp_lo_overflow(self):
+        b = SearchBound(50, 60).clamp(10)
+        assert b.lo == 10
+        assert b.hi == 11
+
+    def test_clamp_never_empty(self):
+        b = SearchBound(10, 10).clamp(10)
+        assert len(b) >= 1
+
+    def test_around_center(self):
+        b = SearchBound.around(50, 3, 100)
+        assert b.contains(47) and b.contains(53)
+
+    def test_around_clamps_low(self):
+        b = SearchBound.around(1, 5, 100)
+        assert b.lo == 0
+
+    def test_full_covers_all_positions(self):
+        b = SearchBound.full(10)
+        assert b.contains(0) and b.contains(10)
+
+    @given(st.integers(0, 1000), st.integers(0, 50), st.integers(1, 1000))
+    def test_around_always_valid_range(self, estimate, error, n):
+        b = SearchBound.around(estimate, error, n)
+        assert 0 <= b.lo < b.hi <= n + 1
+
+
+class TestLowerBoundPosition:
+    def test_present_key(self):
+        assert lower_bound_position([1, 3, 5], 3) == 1
+
+    def test_absent_key(self):
+        assert lower_bound_position([1, 3, 5], 4) == 2
+
+    def test_below_all(self):
+        assert lower_bound_position([1, 3, 5], 0) == 0
+
+    def test_above_all(self):
+        assert lower_bound_position([1, 3, 5], 6) == 3
+
+    def test_equal_to_max(self):
+        assert lower_bound_position([1, 3, 5], 5) == 2
+
+    @given(st.lists(st.integers(0, 2**64 - 1), unique=True), st.integers(0, 2**64 - 1))
+    def test_matches_definition(self, keys, probe):
+        keys.sort()
+        pos = lower_bound_position(keys, probe)
+        assert all(k < probe for k in keys[:pos])
+        assert all(k >= probe for k in keys[pos:])

@@ -1,0 +1,89 @@
+"""BTree and IBTree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.validation import validate_index
+from repro.traditional.btree import BTreeIndex, IBTreeIndex
+from repro.memsim import PerfTracer
+
+from conftest import build
+
+
+@pytest.mark.parametrize("name", ["BTree", "IBTree"])
+class TestBTreeFamily:
+    @pytest.mark.parametrize("gap", [1, 2, 7, 64])
+    def test_valid_on_all_datasets(self, all_datasets_small, name, gap):
+        for ds_name, ds in all_datasets_small.items():
+            idx = build(name, ds, gap=gap)
+            probes = list(ds.keys[::39]) + [0, 2**64 - 1]
+            assert validate_index(idx, probes) is None, (ds_name, gap)
+
+    def test_extreme_probes(self, amzn_small, extreme_probe_keys, name):
+        idx = build(name, amzn_small, gap=3)
+        assert validate_index(idx, extreme_probe_keys) is None
+
+    def test_gap1_exact_bounds_for_present_keys(self, amzn_small, name):
+        idx = build(name, amzn_small, gap=1)
+        for i in (0, 100, 4_999):
+            bound = idx.lookup(int(amzn_small.keys[i]))
+            assert bound.contains(i)
+            assert len(bound) <= 2
+
+    def test_bound_size_limited_by_gap(self, amzn_small, name):
+        gap = 8
+        idx = build(name, amzn_small, gap=gap)
+        for key in amzn_small.keys[::67]:
+            assert len(idx.lookup(int(key))) <= gap + 1
+
+    def test_size_shrinks_with_gap(self, amzn_small, name):
+        big = build(name, amzn_small, gap=1)
+        small = build(name, amzn_small, gap=16)
+        assert small.size_bytes() < big.size_bytes() / 8
+
+    def test_invalid_config(self, name):
+        cls = BTreeIndex if name == "BTree" else IBTreeIndex
+        with pytest.raises(ValueError):
+            cls(gap=0)
+        with pytest.raises(ValueError):
+            cls(fanout=1)
+
+    @given(
+        st.lists(st.integers(0, 2**64 - 1), min_size=2, max_size=200, unique=True),
+        st.integers(0, 2**64 - 1),
+        st.sampled_from([1, 3, 16]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_validity_property(self, name, keys, probe, gap):
+        keys.sort()
+        cls = BTreeIndex if name == "BTree" else IBTreeIndex
+        idx = cls(gap=gap).build(np.array(keys, dtype=np.uint64))
+        assert validate_index(idx, [probe]) is None
+
+
+class TestBTreeSpecifics:
+    def test_level_count_logarithmic(self, amzn_small):
+        idx = build("BTree", amzn_small, gap=1, fanout=16)
+        # 5000 keys at fanout 16: leaf + ceil(log16(5000/16))+ levels.
+        assert 3 <= len(idx._levels) <= 4
+
+    def test_descent_reads_one_node_per_level(self, amzn_small):
+        idx = build("BTree", amzn_small, gap=1, fanout=16)
+        t = PerfTracer()
+        idx.lookup(int(amzn_small.keys[2500]), t)
+        # Binary search within each node: <= log2(16)+1 reads per level.
+        assert t.counters.reads <= len(idx._levels) * 5 + 2
+
+
+class TestIBTreeSpecifics:
+    def test_interpolation_uses_fewer_branches_on_uniform(self):
+        keys = np.arange(0, 160_000, 11, dtype=np.uint64)
+        ib = IBTreeIndex(gap=1).build(keys)
+        bt = BTreeIndex(gap=1).build(keys)
+        ti, tb = PerfTracer(), PerfTracer()
+        for key in keys[:: len(keys) // 200]:
+            ib.lookup(int(key), ti)
+            bt.lookup(int(key), tb)
+        assert ti.counters.branch_misses < tb.counters.branch_misses

@@ -1,0 +1,104 @@
+"""Updatable B+-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traditional.btree_dynamic import DynamicBTree
+
+
+class TestBasics:
+    def test_insert_get(self):
+        t = DynamicBTree(fanout=4)
+        t.insert(5, 50)
+        t.insert(1, 10)
+        t.insert(9, 90)
+        assert t.get(5) == 50
+        assert t.get(1) == 10
+        assert t.get(2) is None
+        assert len(t) == 3
+
+    def test_overwrite(self):
+        t = DynamicBTree(fanout=4)
+        t.insert(7, 1)
+        t.insert(7, 2)
+        assert t.get(7) == 2
+        assert len(t) == 1
+
+    def test_splits_grow_height(self):
+        t = DynamicBTree(fanout=4)
+        for i in range(200):
+            t.insert(i, i)
+        assert t.height >= 3
+        assert all(t.get(i) == i for i in range(0, 200, 17))
+
+    def test_reverse_inserts(self):
+        t = DynamicBTree(fanout=4)
+        for i in range(500, 0, -1):
+            t.insert(i, i * 2)
+        assert [k for k, _ in t.items()] == list(range(1, 501))
+
+    def test_range_scan(self):
+        t = DynamicBTree(fanout=8)
+        for i in range(0, 1_000, 3):
+            t.insert(i, i)
+        out = [k for k, _ in t.range(100, 200)]
+        assert out == [k for k in range(0, 1_000, 3) if 100 <= k < 200]
+
+    def test_range_across_leaves(self):
+        t = DynamicBTree(fanout=4)
+        for i in range(100):
+            t.insert(i, i)
+        assert len(list(t.range(0, 100))) == 100
+
+    def test_bulk_load(self):
+        t = DynamicBTree.bulk_load(range(0, 100, 2), range(50), fanout=8)
+        assert t.get(42) == 21
+        with pytest.raises(ValueError):
+            DynamicBTree.bulk_load([3, 1], [0, 0])
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ValueError):
+            DynamicBTree(fanout=2)
+
+    def test_node_occupancy_bounded(self):
+        t = DynamicBTree(fanout=8)
+        rng = random.Random(0)
+        for _ in range(2_000):
+            t.insert(rng.randrange(10**9), 0)
+
+        def check(node):
+            from repro.traditional.btree_dynamic import _Internal
+
+            assert len(node.keys) <= 8
+            if isinstance(node, _Internal):
+                assert len(node.children) == len(node.keys) + 1
+                for child in node.children:
+                    check(child)
+
+        check(t._root)
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2**40), st.integers(0, 2**20)),
+            min_size=1,
+            max_size=400,
+        ),
+        st.sampled_from([4, 8, 32]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_dict(self, ops, fanout):
+        t = DynamicBTree(fanout=fanout)
+        reference = {}
+        for key, value in ops:
+            t.insert(key, value)
+            reference[key] = value
+        assert len(t) == len(reference)
+        for key in list(reference)[:60]:
+            assert t.get(key) == reference[key]
+        assert [k for k, _ in t.items()] == sorted(reference)
+        assert dict(t.items()) == reference

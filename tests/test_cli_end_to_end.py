@@ -1,0 +1,38 @@
+"""End-to-end CLI: every experiment through the real entry point."""
+
+import json
+
+from repro.bench.__main__ import main
+
+
+def test_all_experiments_tiny(tmp_path, capsys):
+    """`--experiment all` runs every driver and saves artifacts."""
+    measurements_path = str(tmp_path / "m.json")
+    rc = main(
+        [
+            "--experiment",
+            "all",
+            "--quick",
+            "--n-keys",
+            "2000",
+            "--n-lookups",
+            "25",
+            "--warmup",
+            "15",
+            "--max-configs",
+            "2",
+            "--datasets",
+            "amzn",
+            "--save-measurements",
+            measurements_path,
+            "--save-svg",
+            str(tmp_path),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    for marker in ("[table1]", "[fig7]", "[fig17]", "[ext3]", "[sec4.3]"):
+        assert marker in out
+    records = json.load(open(measurements_path))
+    assert len(records) > 10
+    assert (tmp_path / "pareto_amzn.svg").exists()

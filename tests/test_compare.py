@@ -1,0 +1,125 @@
+"""Measurement baseline comparison tool."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import compare_files, format_comparison, main
+
+
+def write_records(path, records):
+    with open(path, "w") as f:
+        json.dump(records, f)
+
+
+def record(index="RMI", dataset="amzn", latency=200.0, config="{}"):
+    return {
+        "index": index,
+        "dataset": dataset,
+        "config": config,
+        "search": "binary",
+        "warm": True,
+        "key_bits": 64,
+        "latency_ns": latency,
+    }
+
+
+class TestCompareFiles:
+    def test_identical_is_clean(self, tmp_path):
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        write_records(a, [record()])
+        write_records(b, [record()])
+        c = compare_files(a, b)
+        assert c.clean
+        assert c.unchanged == 1
+
+    def test_detects_regression(self, tmp_path):
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        write_records(a, [record(latency=200.0)])
+        write_records(b, [record(latency=260.0)])
+        c = compare_files(a, b, threshold=0.05)
+        assert not c.clean
+        assert len(c.regressions) == 1
+        assert c.regressions[0].ratio == pytest.approx(1.3)
+
+    def test_detects_improvement(self, tmp_path):
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        write_records(a, [record(latency=200.0)])
+        write_records(b, [record(latency=150.0)])
+        c = compare_files(a, b, threshold=0.05)
+        assert c.clean
+        assert len(c.improvements) == 1
+
+    def test_threshold_tolerates_small_drift(self, tmp_path):
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        write_records(a, [record(latency=200.0)])
+        write_records(b, [record(latency=203.0)])
+        c = compare_files(a, b, threshold=0.02)
+        assert c.unchanged == 1
+
+    def test_missing_config_not_clean(self, tmp_path):
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        write_records(a, [record(), record(index="PGM")])
+        write_records(b, [record()])
+        c = compare_files(a, b)
+        assert not c.clean
+        assert len(c.only_in_baseline) == 1
+
+    def test_new_config_is_clean(self, tmp_path):
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        write_records(a, [record()])
+        write_records(b, [record(), record(index="PGM")])
+        c = compare_files(a, b)
+        assert c.clean
+        assert len(c.only_in_current) == 1
+
+    def test_negative_threshold_rejected(self, tmp_path):
+        a = str(tmp_path / "a.json")
+        write_records(a, [record()])
+        with pytest.raises(ValueError):
+            compare_files(a, a, threshold=-1)
+
+
+class TestCli:
+    def test_exit_codes(self, tmp_path, capsys):
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        write_records(a, [record(latency=200.0)])
+        write_records(b, [record(latency=400.0)])
+        assert main([a, a]) == 0
+        assert main([a, b]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSIONS" in out
+        assert "slower" in out
+
+    def test_format_mentions_counts(self):
+        from repro.bench.compare import Comparison
+
+        text = format_comparison(
+            Comparison([], [], unchanged=7, only_in_baseline=[], only_in_current=[])
+        )
+        assert "7" in text and "clean" in text
+
+
+class TestRealRoundtrip:
+    def test_against_actual_measurements(self, tmp_path):
+        """A real measurement dumped twice compares clean (determinism)."""
+        from repro.bench.export import write_measurements
+        from repro.bench.harness import measure_index
+        from repro.datasets import make_dataset, make_workload
+
+        ds = make_dataset("amzn", 2_500, seed=71)
+        wl = make_workload(ds, 120, seed=72)
+        m1 = measure_index(ds, wl, "RMI", {"branching": 64}, n_lookups=60)
+        m2 = measure_index(ds, wl, "RMI", {"branching": 64}, n_lookups=60)
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        write_measurements(a, [m1])
+        write_measurements(b, [m2])
+        assert compare_files(a, b).clean

@@ -1,0 +1,41 @@
+"""Bench settings and sweep thinning."""
+
+from repro.bench.config import BenchSettings, sweep_configs
+from repro.core.registry import get_index_class
+
+
+class TestBenchSettings:
+    def test_defaults_cover_all_datasets(self):
+        s = BenchSettings()
+        assert set(s.datasets) == {"amzn", "face", "osm", "wiki"}
+
+    def test_quick_preset_smaller(self):
+        q = BenchSettings.quick()
+        d = BenchSettings()
+        assert q.n_keys < d.n_keys
+        assert q.max_configs is not None
+
+
+class TestSweepConfigs:
+    def test_unlimited_returns_full_sweep(self):
+        cls = get_index_class("PGM")
+        full = cls.size_sweep_configs(100_000)
+        assert sweep_configs(cls, 100_000, None) == full
+
+    def test_limit_thins_preserving_extremes(self):
+        cls = get_index_class("PGM")
+        full = cls.size_sweep_configs(100_000)
+        thinned = sweep_configs(cls, 100_000, 3)
+        assert len(thinned) == 3
+        assert thinned[0] == full[0]
+        assert thinned[-1] == full[-1]
+
+    def test_limit_larger_than_sweep(self):
+        cls = get_index_class("BS")
+        assert sweep_configs(cls, 1_000, 10) == [{}]
+
+    def test_no_duplicates(self):
+        cls = get_index_class("RMI")
+        thinned = sweep_configs(cls, 50_000, 5)
+        seen = [tuple(sorted(c.items())) for c in thinned]
+        assert len(seen) == len(set(seen))

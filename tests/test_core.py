@@ -1,0 +1,102 @@
+"""Registry, Pareto analysis, validation."""
+
+import pytest
+
+from repro.core.pareto import ParetoPoint, dominated_by, front_by_index, pareto_front
+from repro.core.registry import available_indexes, get_index_class, make_index
+from repro.core.validation import validate_index
+
+from conftest import build
+
+
+class TestRegistry:
+    def test_all_paper_indexes_registered(self):
+        expected = {
+            "RMI", "PGM", "RS", "BTree", "IBTree", "FAST", "ART", "FST",
+            "Wormhole", "CuckooMap", "RobinHash", "RBS", "BS",
+        }
+        assert expected <= set(available_indexes())
+
+    def test_make_index_passes_config(self):
+        idx = make_index("RMI", branching=77)
+        assert idx.branching == 77
+
+    def test_unknown_name_helpful_error(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_index_class("BLink")
+
+    def test_capabilities_match_paper_table1(self):
+        assert get_index_class("PGM").capabilities.updates is True
+        assert get_index_class("RMI").capabilities.updates is False
+        assert get_index_class("RobinHash").capabilities.ordered is False
+        assert get_index_class("Wormhole").capabilities.kind == "Hybrid hash/trie"
+
+
+class TestPareto:
+    def _points(self):
+        return [
+            ParetoPoint("a", 100, 50.0),
+            ParetoPoint("b", 200, 40.0),
+            ParetoPoint("c", 150, 60.0),  # dominated by a
+            ParetoPoint("d", 50, 90.0),
+            ParetoPoint("e", 300, 40.0),  # dominated by b
+        ]
+
+    def test_front(self):
+        front = pareto_front(self._points())
+        assert [p.index for p in front] == ["d", "a", "b"]
+
+    def test_dominated_by(self):
+        a = ParetoPoint("a", 100, 50.0)
+        c = ParetoPoint("c", 150, 60.0)
+        assert dominated_by(c, a)
+        assert not dominated_by(a, c)
+
+    def test_equal_points_not_mutually_dominating(self):
+        a = ParetoPoint("a", 100, 50.0)
+        b = ParetoPoint("b", 100, 50.0)
+        assert not dominated_by(a, b)
+
+    def test_front_by_index_groups(self):
+        fronts = front_by_index(self._points())
+        assert set(fronts) == {"a", "b", "c", "d", "e"}
+        assert len(fronts["a"]) == 1
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_front_members_never_dominated(self):
+        points = self._points()
+        front = pareto_front(points)
+        for f in front:
+            assert not any(dominated_by(f, q) for q in points)
+
+
+class TestValidation:
+    def test_detects_invalid_index(self, amzn_small):
+        idx = build("RMI", amzn_small, branching=64)
+        # Sabotage: shrink every bound to something wrong.
+        original = idx.lookup
+
+        class Broken:
+            pass
+
+        def bad_lookup(key, tracer=None):
+            from repro.core.bounds import SearchBound
+
+            return SearchBound(0, 1)
+
+        idx.lookup = bad_lookup
+        failure = validate_index(idx, [int(amzn_small.keys[-1])])
+        assert failure is not None
+        assert "outside bound" in str(failure)
+        idx.lookup = original
+
+    def test_passes_valid_index(self, amzn_small):
+        idx = build("BTree", amzn_small, gap=2)
+        assert validate_index(idx, list(amzn_small.keys[::97])) is None
+
+    def test_require_present_skips_absent(self, amzn_small):
+        idx = build("RobinHash", amzn_small)
+        absent_probe = int(amzn_small.keys[0]) + 1
+        assert validate_index(idx, [absent_probe], require_present=True) is None

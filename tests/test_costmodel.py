@@ -1,0 +1,92 @@
+"""Latency cost model."""
+
+import pytest
+
+from repro.memsim.costmodel import XEON_GOLD_6230, CostModel
+from repro.memsim.counters import PerfCountersF
+
+
+def counters(**kw) -> PerfCountersF:
+    return PerfCountersF(**kw)
+
+
+class TestCostModel:
+    def test_pure_compute(self):
+        m = CostModel()
+        c = counters(instructions=40)
+        assert m.cycles(c) == pytest.approx(10.0)  # 4-wide issue
+
+    def test_dram_miss_dominates(self):
+        m = CostModel()
+        hit = counters(instructions=10, l1_hits=1)
+        miss = counters(instructions=10, llc_misses=1)
+        assert m.latency_ns(miss) > 3 * m.latency_ns(hit)
+
+    def test_latency_monotone_in_misses(self):
+        m = CostModel()
+        lat = [
+            m.latency_ns(counters(instructions=50, llc_misses=k))
+            for k in range(5)
+        ]
+        assert lat == sorted(lat)
+
+    def test_branch_miss_penalty(self):
+        m = CostModel()
+        base = counters(instructions=20)
+        with_miss = counters(instructions=20, branch_misses=2)
+        delta = m.cycles(with_miss) - m.cycles(base)
+        assert delta == pytest.approx(2 * m.branch_miss_cycles)
+
+    def test_fence_always_slower(self):
+        m = CostModel()
+        c = counters(instructions=60, llc_misses=3, l1_hits=5)
+        assert m.latency_ns(c, fence=True) > m.latency_ns(c, fence=False)
+
+    def test_fence_hurts_low_instruction_workloads_more(self):
+        """The Figure 15 mechanism: few instructions -> big fence penalty."""
+        m = CostModel()
+        lean = counters(instructions=30, llc_misses=3)
+        fat = counters(instructions=400, llc_misses=3)
+        lean_slowdown = m.latency_ns(lean, True) / m.latency_ns(lean, False)
+        fat_slowdown = m.latency_ns(fat, True) / m.latency_ns(fat, False)
+        assert lean_slowdown > fat_slowdown
+
+    def test_overlap_factor_range(self):
+        m = CostModel()
+        for instr in (0, 50, 200, 1000):
+            f = m.overlap_factor(counters(instructions=instr), fence=False)
+            assert m.mlp_floor <= f <= 1.0
+        assert m.overlap_factor(counters(instructions=10), fence=True) == 1.0
+
+    def test_overlap_saturates(self):
+        m = CostModel()
+        at_sat = m.overlap_factor(
+            counters(instructions=m.mlp_saturation_instr), fence=False
+        )
+        beyond = m.overlap_factor(counters(instructions=10_000), fence=False)
+        assert at_sat == pytest.approx(1.0)
+        assert beyond == pytest.approx(1.0)
+
+    def test_tlb_miss_costs(self):
+        m = CostModel()
+        base = counters(instructions=10)
+        with_tlb = counters(instructions=10, tlb_misses=1)
+        assert m.cycles(with_tlb) > m.cycles(base)
+
+    def test_dram_cycles_conversion(self):
+        m = CostModel(freq_ghz=2.0, dram_ns=100.0)
+        assert m.dram_cycles == pytest.approx(200.0)
+
+    def test_default_model_is_xeon_shaped(self):
+        assert XEON_GOLD_6230.freq_ghz == pytest.approx(2.1)
+
+    def test_realistic_lookup_in_paper_range(self):
+        """A warm RMI-like profile should land in the paper's 100-400ns."""
+        c = counters(
+            instructions=50,
+            branch_misses=1,
+            l1_hits=3,
+            llc_misses=3,
+        )
+        lat = XEON_GOLD_6230.latency_ns(c)
+        assert 100 < lat < 400

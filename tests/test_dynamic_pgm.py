@@ -1,0 +1,119 @@
+"""Dynamic PGM (logarithmic method) extension."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learned.dynamic_pgm import DynamicPGM
+
+
+@pytest.fixture()
+def filled():
+    rng = random.Random(7)
+    d = DynamicPGM(epsilon=16, buffer_capacity=32)
+    items = {}
+    for i in range(2_000):
+        key = rng.randrange(2**50)
+        items[key] = i
+        d.insert(key, i)
+    return d, items
+
+
+class TestInsertGet:
+    def test_all_inserted_retrievable(self, filled):
+        d, items = filled
+        for key, value in list(items.items())[::23]:
+            assert d.get(key) == value
+
+    def test_absent_returns_none(self, filled):
+        d, items = filled
+        absent = max(items) + 1
+        assert d.get(absent) is None
+
+    def test_overwrite_in_buffer(self):
+        d = DynamicPGM(buffer_capacity=100)
+        d.insert(5, 1)
+        d.insert(5, 2)
+        assert d.get(5) == 2
+        assert len(d) == 1
+
+    def test_overwrite_across_runs(self):
+        d = DynamicPGM(buffer_capacity=4)
+        for i in range(20):
+            d.insert(i, i)
+        d.insert(3, 999)  # lands in the buffer, shadows the run copy
+        assert d.get(3) == 999
+
+    def test_run_sizes_geometric(self, filled):
+        d, _ = filled
+        sizes = [r.n for r in d._runs]
+        assert sizes == sorted(sizes, reverse=True)
+        # Logarithmic method keeps the run count logarithmic.
+        assert d.n_runs <= 14
+
+    def test_len_counts_distinct_keys(self):
+        d = DynamicPGM(buffer_capacity=4)
+        for i in range(10):
+            d.insert(i, i)
+        for i in range(5):
+            d.insert(i, i + 100)  # overwrites
+        assert len(d) == 10
+
+    def test_index_size_positive_after_flush(self, filled):
+        d, _ = filled
+        assert d.index_size_bytes() > 0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            DynamicPGM(buffer_capacity=0)
+
+
+class TestRange:
+    def test_full_range_sorted_unique(self, filled):
+        d, items = filled
+        out = list(d.range(0, 2**50))
+        assert [k for k, _ in out] == sorted(items)
+        assert dict(out) == items
+
+    def test_subrange(self, filled):
+        d, items = filled
+        keys = sorted(items)
+        lo, hi = keys[100], keys[200]
+        out = list(d.range(lo, hi))
+        assert [k for k, _ in out] == keys[100:200]
+
+    def test_empty_range(self, filled):
+        d, _ = filled
+        assert list(d.range(5, 5)) == []
+
+    def test_newest_value_wins_in_range(self):
+        d = DynamicPGM(buffer_capacity=4)
+        for i in range(16):
+            d.insert(i, i)
+        d.insert(7, 777)
+        out = dict(d.range(0, 100))
+        assert out[7] == 777
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2**40), st.integers(0, 2**30)),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_dict_semantics(self, ops):
+        d = DynamicPGM(epsilon=8, buffer_capacity=16)
+        reference = {}
+        for key, value in ops:
+            d.insert(key, value)
+            reference[key] = value
+        for key in list(reference)[:50]:
+            assert d.get(key) == reference[key]
+        assert len(d) == len(reference)
+        out = dict(d.range(0, 2**40 + 1))
+        assert out == reference

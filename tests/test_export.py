@@ -1,0 +1,86 @@
+"""Measurement export (JSON/CSV)."""
+
+import json
+
+import pytest
+
+from repro.bench.export import (
+    measurement_record,
+    read_measurement_records,
+    write_measurements,
+)
+from repro.bench.harness import measure_index
+from repro.datasets import make_dataset, make_workload
+
+
+@pytest.fixture(scope="module")
+def measurement():
+    ds = make_dataset("amzn", 3_000, seed=51)
+    wl = make_workload(ds, 150, seed=52)
+    return measure_index(ds, wl, "RMI", {"branching": 64}, n_lookups=60)
+
+
+class TestRecord:
+    def test_contains_identity_and_counters(self, measurement):
+        record = measurement_record(measurement)
+        assert record["index"] == "RMI"
+        assert record["dataset"] == "amzn"
+        assert json.loads(record["config"]) == {"branching": 64}
+        assert record["llc_misses"] >= 0
+        assert record["latency_ns"] > 0
+
+    def test_json_serializable(self, measurement):
+        json.dumps(measurement_record(measurement))
+
+
+class TestWriteRead:
+    def test_json_roundtrip(self, measurement, tmp_path):
+        path = str(tmp_path / "out.json")
+        assert write_measurements(path, [measurement, measurement]) == 2
+        records = read_measurement_records(path)
+        assert len(records) == 2
+        assert records[0]["index"] == "RMI"
+
+    def test_csv_roundtrip(self, measurement, tmp_path):
+        path = str(tmp_path / "out.csv")
+        assert write_measurements(path, [measurement]) == 1
+        records = read_measurement_records(path)
+        assert len(records) == 1
+        assert records[0]["dataset"] == "amzn"
+        assert float(records[0]["latency_ns"]) > 0
+
+    def test_unknown_extension_rejected(self, measurement, tmp_path):
+        with pytest.raises(ValueError):
+            write_measurements(str(tmp_path / "out.xlsx"), [measurement])
+        with pytest.raises(ValueError):
+            read_measurement_records(str(tmp_path / "out.xlsx"))
+
+    def test_empty_csv(self, tmp_path):
+        path = str(tmp_path / "empty.csv")
+        assert write_measurements(path, []) == 0
+
+
+class TestCliFlag:
+    def test_save_measurements_flag(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        path = str(tmp_path / "m.json")
+        rc = main(
+            [
+                "--experiment",
+                "fig7",
+                "--quick",
+                "--n-keys",
+                "2500",
+                "--n-lookups",
+                "40",
+                "--datasets",
+                "amzn",
+                "--save-measurements",
+                path,
+            ]
+        )
+        assert rc == 0
+        records = read_measurement_records(path)
+        assert records
+        assert {r["index"] for r in records} >= {"RMI", "BTree"}

@@ -1,0 +1,73 @@
+"""FAST (SIMD-blocked tree)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.validation import validate_index
+from repro.traditional.fast import FASTIndex
+from repro.memsim import PerfTracer
+
+from conftest import build
+
+
+class TestFASTValidity:
+    @pytest.mark.parametrize("gap", [1, 4, 32])
+    def test_valid_on_all_datasets(self, all_datasets_small, gap):
+        for name, ds in all_datasets_small.items():
+            idx = build("FAST", ds, gap=gap)
+            probes = list(ds.keys[::39]) + [0, 2**64 - 1]
+            assert validate_index(idx, probes) is None, name
+
+    def test_extreme_probes(self, amzn_small, extreme_probe_keys):
+        idx = build("FAST", amzn_small, gap=2)
+        assert validate_index(idx, extreme_probe_keys) is None
+
+    @given(
+        st.lists(st.integers(0, 2**64 - 1), min_size=2, max_size=200, unique=True),
+        st.integers(0, 2**64 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_validity_property(self, keys, probe):
+        keys.sort()
+        idx = FASTIndex(gap=2).build(np.array(keys, dtype=np.uint64))
+        assert validate_index(idx, [probe]) is None
+
+
+class TestFASTProfile:
+    def test_branch_free(self, amzn_small):
+        """FAST's defining property: no data-dependent branches."""
+        idx = build("FAST", amzn_small, gap=1)
+        t = PerfTracer()
+        for key in amzn_small.keys[::53]:
+            idx.lookup(int(key), t)
+        assert t.counters.branches == 0
+        assert t.counters.branch_misses == 0
+
+    def test_32bit_keys_use_fewer_simd_ops(self, amzn_small):
+        keys64 = amzn_small.keys
+        keys32 = (keys64 >> np.uint64(32)).astype(np.uint32)
+        keys32 = np.unique(keys32)
+        idx64 = FASTIndex(gap=1).build(keys64)
+        idx32 = FASTIndex(gap=1).build(keys32)
+        assert idx32._simd_ops_per_node < idx64._simd_ops_per_node
+
+    def test_32bit_keys_halve_size(self, amzn_small):
+        keys64 = amzn_small.keys
+        keys32 = keys64.astype(np.uint32)  # test helper; values truncated
+        idx64 = FASTIndex(gap=1).build(keys64)
+        idx32 = FASTIndex(gap=1).build(np.unique(keys32))
+        assert idx32.size_bytes() < idx64.size_bytes()
+
+    def test_fewer_reads_than_btree(self, amzn_small):
+        """Blocked SIMD nodes read whole nodes, not per-key probes."""
+        from repro.traditional.btree import BTreeIndex
+
+        fast = build("FAST", amzn_small, gap=1)
+        btree = build("BTree", amzn_small, gap=1)
+        tf, tb = PerfTracer(), PerfTracer()
+        for key in amzn_small.keys[::53]:
+            fast.lookup(int(key), tf)
+            btree.lookup(int(key), tb)
+        assert tf.counters.reads < tb.counters.reads

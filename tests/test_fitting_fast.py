@@ -1,0 +1,87 @@
+"""Vectorized fitting must make bit-identical decisions to the reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learned.fitting_fast import fit_pla_fast, fit_spline_fast
+from repro.learned.pla import fit_pla
+from repro.learned.spline import fit_spline
+
+sorted_unique = st.lists(
+    st.integers(0, 2**64 - 1), min_size=1, max_size=500, unique=True
+).map(sorted)
+
+
+def assert_segments_equal(fast, reference):
+    assert len(fast) == len(reference)
+    for a, b in zip(fast, reference):
+        assert a.first_key == b.first_key
+        assert a.slope == b.slope
+        assert a.intercept == b.intercept
+        assert a.first_pos == b.first_pos
+        assert a.last_pos == b.last_pos
+
+
+class TestPlaEquivalence:
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, 8.0, 64.0])
+    def test_on_all_datasets(self, all_datasets_small, epsilon):
+        for name, ds in all_datasets_small.items():
+            keys = ds.keys
+            assert_segments_equal(
+                fit_pla_fast(keys, epsilon), fit_pla(keys.tolist(), epsilon)
+            ), name
+
+    @given(sorted_unique, st.sampled_from([0.0, 1.0, 4.0, 32.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_property(self, keys, epsilon):
+        fast = fit_pla_fast(np.array(keys, dtype=np.uint64), epsilon)
+        ref = fit_pla(keys, epsilon)
+        assert_segments_equal(fast, ref)
+
+    def test_custom_positions(self):
+        keys = np.array([10, 20, 30, 45, 80], dtype=np.uint64)
+        pos = [3, 6, 9, 12, 20]
+        assert_segments_equal(
+            fit_pla_fast(keys, 1.0, positions=np.array(pos)),
+            fit_pla(keys.tolist(), 1.0, positions=pos),
+        )
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            fit_pla_fast(np.array([3, 3], dtype=np.uint64), 1.0)
+
+    def test_window_growth_path(self):
+        # A long collinear run forces several window doublings.
+        keys = np.arange(0, 50_000, 7, dtype=np.uint64)
+        fast = fit_pla_fast(keys, 2.0)
+        assert len(fast) == 1
+
+    def test_empty(self):
+        assert fit_pla_fast(np.array([], dtype=np.uint64), 1.0) == []
+
+
+class TestSplineEquivalence:
+    @pytest.mark.parametrize("epsilon", [1.0, 8.0, 64.0])
+    def test_on_all_datasets(self, all_datasets_small, epsilon):
+        for name, ds in all_datasets_small.items():
+            keys = ds.keys
+            assert fit_spline_fast(keys, epsilon) == fit_spline(
+                keys.tolist(), epsilon
+            ), name
+
+    @given(sorted_unique, st.sampled_from([1.0, 8.0, 64.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_property(self, keys, epsilon):
+        fast = fit_spline_fast(np.array(keys, dtype=np.uint64), epsilon)
+        assert fast == fit_spline(keys, epsilon)
+
+    def test_window_growth_path(self):
+        keys = np.arange(0, 300_000, 11, dtype=np.uint64)
+        knots = fit_spline_fast(keys, 4.0)
+        assert knots == fit_spline(keys.tolist(), 4.0)
+
+    def test_single_and_empty(self):
+        assert fit_spline_fast(np.array([9], dtype=np.uint64), 2.0) == [(9, 0)]
+        assert fit_spline_fast(np.array([], dtype=np.uint64), 2.0) == []

@@ -1,0 +1,74 @@
+"""Fast succinct trie."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.validation import validate_index
+from repro.traditional.fst import FSTIndex
+from repro.memsim import PerfTracer
+
+from conftest import build
+
+
+class TestFSTValidity:
+    @pytest.mark.parametrize("gap", [1, 4, 32])
+    def test_valid_on_all_datasets(self, all_datasets_small, gap):
+        for name, ds in all_datasets_small.items():
+            idx = build("FST", ds, gap=gap)
+            probes = list(ds.keys[::39]) + [0, 2**64 - 1]
+            assert validate_index(idx, probes) is None, name
+
+    def test_valid_on_absent_keys(self, amzn_small, amzn_workload):
+        idx = build("FST", amzn_small, gap=2)
+        assert validate_index(idx, amzn_workload.keys_py) is None
+
+    def test_extreme_probes(self, amzn_small, extreme_probe_keys):
+        idx = build("FST", amzn_small, gap=2)
+        assert validate_index(idx, extreme_probe_keys) is None
+
+    @given(
+        st.lists(st.integers(0, 2**64 - 1), min_size=2, max_size=150, unique=True),
+        st.integers(0, 2**64 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_validity_property(self, keys, probe):
+        keys.sort()
+        idx = FSTIndex(gap=1).build(np.array(keys, dtype=np.uint64))
+        assert validate_index(idx, [probe]) is None
+
+
+class TestFSTStructure:
+    def test_louds_invariants(self, amzn_small):
+        idx = build("FST", amzn_small, gap=8)
+        # Every node starts with a louds-1; edge arrays aligned.
+        assert idx._louds[0] == 1
+        assert len(idx._labels) == len(idx._has_child) == len(idx._louds)
+        # Number of leaf edges equals number of sampled keys.
+        n_leaves = sum(1 for hc in idx._has_child if hc == 0)
+        assert n_leaves == idx._n_samples
+
+    def test_leaf_values_are_key_order(self, amzn_small):
+        idx = build("FST", amzn_small, gap=8)
+        # Values may appear in BFS order, but each leaf stores its exact
+        # sampled index; check via its stored key.
+        samples = amzn_small.keys[::8]
+        for vidx in range(0, len(idx._values), 50):
+            j = idx._values[vidx]
+            assert int(samples[j]) == idx._leaf_keys[vidx]
+
+    def test_labels_sorted_within_node(self, amzn_small):
+        idx = build("FST", amzn_small, gap=8)
+        for lo, hi in idx._node_range[:200]:
+            labels = idx._labels[lo:hi]
+            assert labels == sorted(labels)
+
+    def test_heavy_read_profile(self, amzn_small):
+        """The paper's Figure 8 mechanism: many per-byte operations."""
+        fst = build("FST", amzn_small, gap=1)
+        t = PerfTracer()
+        for key in amzn_small.keys[::61]:
+            fst.lookup(int(key), t)
+        n = len(amzn_small.keys[::61])
+        assert t.counters.reads / n > 10  # far above RMI's ~2

@@ -1,0 +1,88 @@
+"""Measurement harness."""
+
+import pytest
+
+from repro.bench.harness import (
+    LookupError_,
+    Measurement,
+    build_index,
+    measure,
+    measure_index,
+)
+from repro.datasets import make_dataset, make_workload
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_dataset("amzn", 4_000, seed=21)
+
+
+@pytest.fixture(scope="module")
+def wl(ds):
+    return make_workload(ds, 600, seed=22)
+
+
+class TestBuildIndex:
+    def test_builds_in_shared_space(self, ds):
+        built = build_index(ds, "RMI", {"branching": 64})
+        assert built.index.size_bytes() > 0
+        assert len(built.data) == ds.n
+        # Data, payloads and index internals share the address space.
+        names = [name for name, _, _ in built.space.allocations]
+        assert "data" in names and "payloads" in names
+
+    def test_32bit_dataset_gets_32bit_data_array(self):
+        ds32 = make_dataset("amzn", 2_000, key_bits=32)
+        built = build_index(ds32, "BTree", {"gap": 1})
+        assert built.data.itemsize == 4
+
+
+class TestMeasure:
+    def test_basic_measurement(self, ds, wl):
+        m = measure_index(ds, wl, "RMI", {"branching": 256}, n_lookups=100, warmup=50)
+        assert isinstance(m, Measurement)
+        assert m.latency_ns > 0
+        assert m.counters.reads > 0
+        assert m.size_mb > 0
+        assert m.n_lookups == 100
+
+    def test_verification_catches_broken_index(self, ds, wl):
+        built = build_index(ds, "RMI", {"branching": 64})
+        from repro.core.bounds import SearchBound
+
+        built.index.lookup = lambda key, tracer=None: SearchBound(0, 1)
+        with pytest.raises(LookupError_):
+            measure(built, wl, n_lookups=50, warmup=0)
+
+    def test_cold_slower_than_warm(self, ds, wl):
+        warm = measure_index(ds, wl, "BTree", {"gap": 1}, n_lookups=150, warmup=100)
+        cold = measure_index(
+            ds, wl, "BTree", {"gap": 1}, n_lookups=150, warmup=100, warm=False
+        )
+        assert cold.latency_ns > 1.3 * warm.latency_ns
+
+    def test_fence_slower(self, ds, wl):
+        m = measure_index(ds, wl, "RMI", {"branching": 256}, n_lookups=100)
+        assert m.fence_latency_ns > m.latency_ns
+
+    def test_search_variants(self, ds, wl):
+        for search in ("binary", "linear", "interpolation"):
+            m = measure_index(
+                ds, wl, "PGM", {"epsilon": 32}, n_lookups=80, search=search
+            )
+            assert m.search == search
+            assert m.latency_ns > 0
+
+    def test_log2_bound_tracks_epsilon(self, ds, wl):
+        wide = measure_index(ds, wl, "PGM", {"epsilon": 128}, n_lookups=80)
+        narrow = measure_index(ds, wl, "PGM", {"epsilon": 4}, n_lookups=80)
+        assert wide.avg_log2_bound > narrow.avg_log2_bound
+
+    def test_point_only_hash_measures(self, ds, wl):
+        m = measure_index(ds, wl, "RobinHash", {}, n_lookups=100)
+        assert m.latency_ns > 0
+
+    def test_bs_has_zero_size(self, ds, wl):
+        m = measure_index(ds, wl, "BS", {}, n_lookups=80)
+        assert m.size_bytes == 0
+        assert m.counters.reads > 8  # all work in the last mile

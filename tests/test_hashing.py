@@ -1,0 +1,124 @@
+"""CuckooMap and RobinHash."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.validation import validate_index
+from repro.hashing.cuckoo import CuckooMapIndex
+from repro.hashing.robinhood import RobinHashIndex
+from repro.memsim import AddressSpace, PerfTracer, TracedArray
+
+from conftest import build
+
+
+def build32(cls, keys32, **kw):
+    space = AddressSpace()
+    data = TracedArray.allocate(space, np.asarray(keys32, dtype=np.uint32))
+    return cls(**kw).build(data, space)
+
+
+class TestRobinHash:
+    def test_all_present_keys_exact(self, amzn_small):
+        idx = build("RobinHash", amzn_small)
+        for i in range(0, len(amzn_small.keys), 97):
+            bound = idx.lookup(int(amzn_small.keys[i]))
+            assert (bound.lo, bound.hi) == (i, i + 1)
+
+    def test_point_only_flag(self):
+        assert RobinHashIndex.point_only is True
+
+    def test_absent_key_returns_full_bound(self, amzn_small):
+        idx = build("RobinHash", amzn_small)
+        absent = int(amzn_small.keys[0]) + 1
+        if absent in set(amzn_small.keys.tolist()):
+            absent += 1
+        bound = idx.lookup(absent)
+        assert bound.lo == 0 and bound.hi == len(amzn_small.keys) + 1
+
+    def test_validate_present_only(self, amzn_small, amzn_workload):
+        idx = build("RobinHash", amzn_small)
+        assert (
+            validate_index(idx, amzn_workload.keys_py, require_present=True)
+            is None
+        )
+
+    def test_load_factor_controls_size(self, amzn_small):
+        dense = build("RobinHash", amzn_small, load_factor=0.9)
+        sparse = build("RobinHash", amzn_small, load_factor=0.25)
+        assert sparse.size_bytes() > 2 * dense.size_bytes()
+
+    def test_few_probes_at_low_load(self, amzn_small):
+        idx = build("RobinHash", amzn_small, load_factor=0.25)
+        t = PerfTracer()
+        n = 200
+        for key in amzn_small.keys[:n]:
+            idx.lookup(int(key), t)
+        assert t.counters.reads / n < 2.0  # ~1.15 probes at load 0.25
+
+    def test_bad_load_factor(self):
+        with pytest.raises(ValueError):
+            RobinHashIndex(load_factor=0.99)
+
+    @given(st.lists(st.integers(0, 2**64 - 2), min_size=1, max_size=300, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, keys):
+        keys.sort()
+        idx = RobinHashIndex().build(np.array(keys, dtype=np.uint64))
+        for i in (0, len(keys) // 2, len(keys) - 1):
+            bound = idx.lookup(keys[i])
+            assert bound.lo == i
+
+
+class TestCuckooMap:
+    def test_all_present_keys_exact(self):
+        rng = np.random.default_rng(3)
+        keys = np.unique(rng.integers(0, 1 << 32, 5_000, dtype=np.int64)).astype(
+            np.uint32
+        )
+        idx = build32(CuckooMapIndex, keys)
+        for i in range(0, len(keys), 71):
+            bound = idx.lookup(int(keys[i]))
+            assert (bound.lo, bound.hi) == (i, i + 1)
+
+    def test_rejects_64bit_keys(self, amzn_small):
+        with pytest.raises(ValueError):
+            build("CuckooMap", amzn_small)
+
+    def test_high_load_factor_achieved(self):
+        rng = np.random.default_rng(5)
+        keys = np.unique(rng.integers(0, 1 << 32, 8_000, dtype=np.int64)).astype(
+            np.uint32
+        )
+        idx = build32(CuckooMapIndex, keys, load_factor=0.99)
+        slots = idx._n_buckets * 4
+        assert len(keys) / slots > 0.90  # rebuild growth is bounded
+
+    def test_at_most_two_bucket_reads(self):
+        rng = np.random.default_rng(7)
+        keys = np.unique(rng.integers(0, 1 << 32, 2_000, dtype=np.int64)).astype(
+            np.uint32
+        )
+        idx = build32(CuckooMapIndex, keys)
+        t = PerfTracer()
+        n = 200
+        for key in keys[:n]:
+            idx.lookup(int(key), t)
+        # <= 2 bucket reads + 1 value read per lookup.
+        assert t.counters.reads / n <= 3.0
+
+    def test_absent_key_full_bound(self):
+        keys = np.array([10, 20, 30], dtype=np.uint32)
+        idx = build32(CuckooMapIndex, keys)
+        bound = idx.lookup(15)
+        assert bound.lo == 0 and bound.hi == 4
+
+    @given(st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=300, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, keys):
+        keys.sort()
+        idx = build32(CuckooMapIndex, np.array(keys, dtype=np.uint32))
+        for i in (0, len(keys) // 2, len(keys) - 1):
+            bound = idx.lookup(keys[i])
+            assert bound.lo == i

@@ -1,0 +1,84 @@
+"""Cross-module integration: every index against every dataset.
+
+These are the benchmark's core guarantees: any registered ordered index
+returns valid bounds for arbitrary probe keys on all four dataset
+distributions, and the full measurement pipeline (index + last-mile +
+payload verification) completes without a verification failure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import measure_index
+from repro.core.registry import available_indexes, get_index_class
+from repro.core.validation import validate_index
+from repro.datasets import make_dataset, make_workload
+
+from conftest import build
+
+ORDERED_CONFIGS = {
+    "BS": {},
+    "RBS": {"radix_bits": 8},
+    "BTree": {"gap": 3},
+    "IBTree": {"gap": 3},
+    "FAST": {"gap": 3},
+    "ART": {"gap": 3},
+    "FST": {"gap": 3},
+    "Wormhole": {"gap": 3},
+    "RMI": {"branching": 128},
+    "PGM": {"epsilon": 24},
+    "RS": {"epsilon": 24, "radix_bits": 8},
+}
+
+
+@pytest.mark.parametrize("index_name", sorted(ORDERED_CONFIGS))
+@pytest.mark.parametrize("ds_name", ["amzn", "face", "osm", "wiki"])
+def test_every_index_valid_on_every_dataset(
+    all_datasets_small, index_name, ds_name
+):
+    ds = all_datasets_small[ds_name]
+    idx = build(index_name, ds, **ORDERED_CONFIGS[index_name])
+    wl = make_workload(ds, 150, seed=9, mode="mixed")
+    probes = wl.keys_py + [0, 1, 2**63, 2**64 - 1]
+    assert validate_index(idx, probes) is None
+
+
+@pytest.mark.parametrize("index_name", sorted(ORDERED_CONFIGS))
+def test_full_measurement_pipeline(index_name):
+    ds = make_dataset("wiki", 3_000, seed=31)
+    wl = make_workload(ds, 300, seed=32)
+    m = measure_index(
+        ds, wl, index_name, ORDERED_CONFIGS[index_name], n_lookups=120, warmup=60
+    )
+    assert m.latency_ns > 0
+    assert m.counters.instructions >= 0
+
+
+def test_size_sweeps_grow_monotonically():
+    ds = make_dataset("amzn", 6_000, seed=33)
+    for index_name in ("RMI", "PGM", "RS", "BTree", "RBS"):
+        cls = get_index_class(index_name)
+        sizes = []
+        for config in cls.size_sweep_configs(ds.n):
+            sizes.append(build(index_name, ds, **config).size_bytes())
+        assert sizes == sorted(sizes), index_name
+
+
+def test_registry_covers_paper_table1():
+    assert len(available_indexes()) >= 13
+
+
+def test_checksum_verification_end_to_end():
+    """The paper sums payloads to check correctness; so do we."""
+    ds = make_dataset("face", 2_000, seed=41)
+    wl = make_workload(ds, 200, seed=42, mode="present")
+    idx = build("PGM", ds, epsilon=16)
+    from repro.search.last_mile import binary_search
+    from repro.memsim import AddressSpace, TracedArray
+
+    total = 0
+    for key in wl.keys_py:
+        bound = idx.lookup(key)
+        pos = binary_search(idx.data, key, bound)
+        total += int(ds.payloads[pos])
+    assert total == wl.expected_checksum()

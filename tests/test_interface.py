@@ -1,0 +1,57 @@
+"""SortedDataIndex lifecycle contract."""
+
+import numpy as np
+import pytest
+
+from repro.core.interface import SortedDataIndex
+from repro.core.registry import make_index
+from repro.memsim import AddressSpace, TracedArray
+
+
+class TestBuildContract:
+    def test_build_from_plain_list(self):
+        idx = make_index("BTree", gap=1).build([1, 5, 9])
+        assert idx.n_keys == 3
+        assert idx.lookup(5).contains(1)
+
+    def test_build_from_numpy(self):
+        idx = make_index("PGM", epsilon=4).build(
+            np.array([2, 4, 6], dtype=np.uint64)
+        )
+        assert idx.n_keys == 3
+
+    def test_build_records_time(self):
+        idx = make_index("RMI", branching=16).build(list(range(1, 2000, 2)))
+        assert idx.build_seconds > 0
+
+    def test_traced_array_requires_space(self):
+        space = AddressSpace()
+        data = TracedArray.allocate(space, np.arange(1, 10, dtype=np.uint64))
+        with pytest.raises(ValueError, match="AddressSpace"):
+            make_index("BTree").build(data)
+
+    def test_unbuilt_access_raises(self):
+        idx = make_index("BTree")
+        with pytest.raises(RuntimeError, match="not been built"):
+            _ = idx.data
+
+    def test_unbuilt_repr(self):
+        assert "unbuilt" in repr(make_index("RMI"))
+
+    def test_size_accounting_sums_registered(self):
+        idx = make_index("RBS", radix_bits=8).build(list(range(1, 100)))
+        # Table of 2**8 + 1 uint32 entries.
+        assert idx.size_bytes() == (257) * 4
+
+    def test_build_returns_self(self):
+        idx = make_index("BS")
+        assert idx.build([1, 2, 3]) is idx
+
+
+class TestCapabilitiesDefaults:
+    def test_point_only_default_false(self):
+        assert SortedDataIndex.point_only is False
+
+    def test_size_mb_conversion(self):
+        idx = make_index("RBS", radix_bits=8).build(list(range(1, 100)))
+        assert idx.size_mb() == pytest.approx(idx.size_bytes() / 1048576)

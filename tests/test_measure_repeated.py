@@ -1,0 +1,39 @@
+"""Chunked measurements with dispersion."""
+
+import pytest
+
+from repro.bench.harness import build_index, measure_repeated
+from repro.datasets import make_dataset, make_workload
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = make_dataset("amzn", 4_000, seed=61)
+    wl = make_workload(ds, 2_500, seed=62)
+    built = build_index(ds, "RMI", {"branching": 128})
+    return built, wl
+
+
+class TestMeasureRepeated:
+    def test_chunk_count(self, setup):
+        built, wl = setup
+        r = measure_repeated(built, wl, n_chunks=4, chunk_lookups=100, warmup=50)
+        assert len(r.chunk_latencies_ns) == 4
+
+    def test_dispersion_bounded(self, setup):
+        built, wl = setup
+        r = measure_repeated(built, wl, n_chunks=5, chunk_lookups=150, warmup=50)
+        assert r.std_latency_ns >= 0.0
+        # Dispersion stays below the mean itself (chunks measure the same
+        # structure; at this tiny scale later chunks run progressively
+        # warmer, which is the dominant spread).
+        assert r.std_latency_ns < r.mean_latency_ns
+        assert r.mean_latency_ns > 0
+
+    def test_mean_close_to_single_measurement(self, setup):
+        from repro.bench.harness import measure
+
+        built, wl = setup
+        r = measure_repeated(built, wl, n_chunks=4, chunk_lookups=150, warmup=100)
+        single = measure(built, wl, n_lookups=600, warmup=100)
+        assert r.mean_latency_ns == pytest.approx(single.latency_ns, rel=0.25)

@@ -1,0 +1,96 @@
+"""Cache simulator behaviour."""
+
+import pytest
+
+from repro.memsim.cache import LINE_SIZE, Cache, CacheHierarchy
+
+
+class TestCache:
+    def test_first_access_misses(self):
+        c = Cache(1024, 2, "t")
+        assert c.access(5) is False
+
+    def test_second_access_hits(self):
+        c = Cache(1024, 2, "t")
+        c.access(5)
+        assert c.access(5) is True
+
+    def test_capacity_eviction_lru(self):
+        # 2-way, map lines to one set: lines with same (line % n_sets).
+        c = Cache(2 * LINE_SIZE * 1, 2, "t")  # 1 set, 2 ways
+        assert c.n_sets == 1
+        c.access(1)
+        c.access(2)
+        c.access(3)  # evicts 1 (LRU)
+        assert c.contains(2)
+        assert c.contains(3)
+        assert not c.contains(1)
+
+    def test_lru_updated_on_hit(self):
+        c = Cache(2 * LINE_SIZE, 2, "t")
+        c.access(1)
+        c.access(2)
+        c.access(1)  # 1 becomes MRU
+        c.access(3)  # evicts 2
+        assert c.contains(1)
+        assert not c.contains(2)
+
+    def test_different_sets_dont_conflict(self):
+        c = Cache(4 * LINE_SIZE, 2, "t")  # 2 sets
+        assert c.n_sets == 2
+        c.access(0)
+        c.access(2)
+        c.access(4)  # all even -> set 0; odd set untouched
+        c.access(1)
+        assert c.contains(1)
+
+    def test_flush(self):
+        c = Cache(1024, 2, "t")
+        c.access(7)
+        c.flush()
+        assert not c.contains(7)
+        assert c.resident_lines() == 0
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(100, 3, "bad")
+
+    def test_resident_lines_counts(self):
+        c = Cache(1024, 2, "t")
+        for line in range(5):
+            c.access(line)
+        assert c.resident_lines() == 5
+
+
+class TestCacheHierarchy:
+    def test_miss_then_l1_hit(self):
+        h = CacheHierarchy()
+        assert h.access_addr(0x1000) == 4  # DRAM
+        assert h.access_addr(0x1000) == 1  # L1
+
+    def test_same_line_shares(self):
+        h = CacheHierarchy()
+        h.access_addr(0x1000)
+        assert h.access_addr(0x1008) == 1  # same 64B line
+
+    def test_adjacent_lines_distinct(self):
+        h = CacheHierarchy()
+        h.access_addr(0x1000)
+        assert h.access_addr(0x1040) == 4
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = CacheHierarchy()
+        h.access_addr(0)
+        # Fill L1's set for line 0: lines that map to the same L1 set but
+        # different L2 sets.  L1 has 64 sets (32KB/8/64).
+        n_l1_sets = h.l1.n_sets
+        for i in range(1, h.l1.assoc + 1):
+            h.access_addr(i * n_l1_sets * 64)
+        level = h.access_addr(0)
+        assert level in (2, 3)  # evicted from L1, still lower in hierarchy
+
+    def test_flush_clears_all(self):
+        h = CacheHierarchy()
+        h.access_addr(0x2000)
+        h.flush()
+        assert h.access_addr(0x2000) == 4

@@ -1,0 +1,77 @@
+"""Property tests on the memory-hierarchy simulator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.cache import LINE_SIZE, Cache, CacheHierarchy
+from repro.memsim.tlb import TLB
+from repro.memsim.tracer import PerfTracer
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(0, 2**20), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_immediate_rehit(self, lines):
+        """Any just-accessed line hits on immediate re-access."""
+        c = Cache(8 * 1024, 4, "p")
+        for line in lines:
+            c.access(line)
+            assert c.access(line) is True
+
+    @given(st.lists(st.integers(0, 2**20), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_residency_bounded_by_capacity(self, lines):
+        c = Cache(4 * 1024, 4, "p")
+        max_lines = c.size_bytes // LINE_SIZE
+        for line in lines:
+            c.access(line)
+        assert c.resident_lines() <= max_lines
+
+    @given(st.integers(1, 16))
+    @settings(max_examples=16, deadline=None)
+    def test_lru_stack_property(self, assoc):
+        """In one set, the most recent `assoc` distinct lines all hit."""
+        c = Cache(assoc * LINE_SIZE, assoc, "p")  # single set
+        n_sets = c.n_sets
+        assert n_sets == 1
+        for line in range(assoc * 3):
+            c.access(line)
+        recent = range(assoc * 2, assoc * 3)
+        assert all(c.contains(line) for line in recent)
+
+    @given(st.lists(st.integers(0, 2**24), min_size=1, max_size=500))
+    @settings(max_examples=30, deadline=None)
+    def test_hierarchy_counters_conserve(self, addrs):
+        """Every read lands at exactly one level."""
+        t = PerfTracer()
+        for a in addrs:
+            t.read(a * 8)
+        c = t.counters
+        events = c.l1_hits + c.l2_hits + c.l3_hits + c.llc_misses
+        # Each read = 1 data access + 1 page-walk access per TLB miss.
+        assert events == c.reads + c.tlb_misses
+
+    @given(st.lists(st.integers(0, 2**18), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_warm_rerun_never_slower(self, addrs):
+        """Replaying an access trace the second time cannot miss more."""
+        h = CacheHierarchy()
+        first = sum(1 for a in addrs if h.access_addr(a * 64) == 4)
+        second = sum(1 for a in addrs if h.access_addr(a * 64) == 4)
+        assert second <= first
+
+
+class TestTlbProperties:
+    @given(st.lists(st.integers(0, 2**14), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_immediate_rehit(self, pages):
+        t = TLB(l1_entries=8, l2_entries=32)
+        for page in pages:
+            t.access_addr(page << 12)
+            assert t.access_addr(page << 12) is True
+
+    def test_walk_addr_disjoint_from_data(self):
+        """Page-table pseudo-addresses never alias index data."""
+        assert TLB.walk_addr(0) >= (1 << 44)
+        assert TLB.walk_addr(2**40) != TLB.walk_addr(2**40 + (1 << 12))

@@ -1,0 +1,148 @@
+"""PerfTracer, NullTracer, branch predictor and TLB."""
+
+from repro.memsim.branch import BranchPredictor
+from repro.memsim.tlb import TLB
+from repro.memsim.tracer import NULL_TRACER, PerfTracer
+
+
+class TestBranchPredictor:
+    def test_steady_taken_learned(self):
+        p = BranchPredictor()
+        results = [p.predict_and_update("s", True) for _ in range(10)]
+        assert all(results[2:])  # converges within two updates
+
+    def test_steady_not_taken_learned(self):
+        p = BranchPredictor()
+        results = [p.predict_and_update("s", False) for _ in range(10)]
+        assert all(results[3:])
+
+    def test_alternating_mispredicts_often(self):
+        p = BranchPredictor()
+        outcomes = [bool(i % 2) for i in range(100)]
+        misses = sum(
+            not p.predict_and_update("s", taken) for taken in outcomes
+        )
+        assert misses >= 40  # near-50% for a bimodal predictor
+
+    def test_sites_independent(self):
+        p = BranchPredictor()
+        for _ in range(5):
+            p.predict_and_update("a", True)
+            p.predict_and_update("b", False)
+        assert p.predict_and_update("a", True)
+        assert p.predict_and_update("b", False)
+
+    def test_reset(self):
+        p = BranchPredictor()
+        p.predict_and_update("a", False)
+        p.reset()
+        assert p.n_sites() == 0
+
+
+class TestTLB:
+    def test_hit_after_install(self):
+        t = TLB(l1_entries=4, l2_entries=8)
+        assert t.access_addr(0x1000) is False
+        assert t.access_addr(0x1000) is True
+
+    def test_same_page_shares_entry(self):
+        t = TLB()
+        t.access_addr(0x2000)
+        assert t.access_addr(0x2FFF) is True  # same 4K page
+
+    def test_l2_catches_l1_eviction(self):
+        t = TLB(l1_entries=2, l2_entries=64)
+        t.access_addr(0 << 12)
+        t.access_addr(1 << 12)
+        t.access_addr(2 << 12)  # evicts page 0 from L1
+        assert t.access_addr(0 << 12) is True  # still in L2
+
+    def test_capacity_miss(self):
+        t = TLB(l1_entries=2, l2_entries=4)
+        for page in range(10):
+            t.access_addr(page << 12)
+        assert t.access_addr(0 << 12) is False
+
+    def test_flush(self):
+        t = TLB()
+        t.access_addr(0x5000)
+        t.flush()
+        assert t.access_addr(0x5000) is False
+
+
+class TestPerfTracer:
+    def test_read_counts(self):
+        t = PerfTracer()
+        t.read(0x1000, 8)
+        assert t.counters.reads == 1
+        assert t.counters.llc_misses >= 1
+
+    def test_line_crossing_read_touches_two_lines(self):
+        t = PerfTracer()
+        t.read(0x1000 + 60, 8)  # crosses a 64B boundary
+        assert t.counters.llc_misses + t.counters.l1_hits >= 2
+
+    def test_repeat_read_hits_l1(self):
+        t = PerfTracer()
+        t.read(0x1000)
+        before = t.counters.l1_hits
+        t.read(0x1000)
+        assert t.counters.l1_hits > before
+
+    def test_instr_accumulates(self):
+        t = PerfTracer()
+        t.instr(3)
+        t.instr()
+        assert t.counters.instructions == 4
+
+    def test_branch_counts(self):
+        t = PerfTracer()
+        for taken in (True, False, True, False):
+            t.branch("x", taken)
+        assert t.counters.branches == 4
+        assert t.counters.branch_misses >= 1
+
+    def test_tlb_miss_charges_walk(self):
+        t = PerfTracer()
+        t.read(0x100000)
+        assert t.counters.tlb_misses == 1
+        # Walk performed one extra cache access beyond the data line.
+        total_cache_events = (
+            t.counters.l1_hits
+            + t.counters.l2_hits
+            + t.counters.l3_hits
+            + t.counters.llc_misses
+        )
+        assert total_cache_events == 2
+
+    def test_flush_caches_forces_miss(self):
+        t = PerfTracer()
+        t.read(0x3000)
+        t.flush_caches()
+        before = t.counters.llc_misses
+        t.read(0x3000)
+        assert t.counters.llc_misses > before
+
+    def test_snapshot_is_copy(self):
+        t = PerfTracer()
+        t.instr(5)
+        snap = t.snapshot()
+        t.instr(5)
+        assert snap.instructions == 5
+        assert t.counters.instructions == 10
+
+    def test_counters_subtract_and_per_lookup(self):
+        t = PerfTracer()
+        t.instr(10)
+        a = t.snapshot()
+        t.instr(30)
+        diff = t.snapshot() - a
+        assert diff.instructions == 30
+        assert diff.per_lookup(10).instructions == 3.0
+
+
+class TestNullTracer:
+    def test_all_noops(self):
+        NULL_TRACER.read(0x100)
+        NULL_TRACER.instr(5)
+        NULL_TRACER.branch("x", True)  # must not raise

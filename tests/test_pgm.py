@@ -1,0 +1,76 @@
+"""PGM index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.validation import validate_index
+from repro.learned.pgm import PGMIndex
+from repro.memsim import PerfTracer
+
+from conftest import build
+
+
+class TestPGMValidity:
+    @pytest.mark.parametrize("epsilon", [4, 16, 64, 256])
+    def test_valid_on_all_datasets(self, all_datasets_small, epsilon):
+        for name, ds in all_datasets_small.items():
+            idx = build("PGM", ds, epsilon=epsilon)
+            probes = list(ds.keys[::41]) + [0, 2**64 - 1]
+            assert validate_index(idx, probes) is None, name
+
+    def test_valid_on_absent_keys(self, amzn_small, amzn_workload):
+        idx = build("PGM", amzn_small, epsilon=16)
+        assert validate_index(idx, amzn_workload.keys_py) is None
+
+    def test_extreme_probes(self, amzn_small, extreme_probe_keys):
+        idx = build("PGM", amzn_small, epsilon=8)
+        assert validate_index(idx, extreme_probe_keys) is None
+
+    @given(
+        st.lists(st.integers(0, 2**64 - 1), min_size=2, max_size=300, unique=True),
+        st.integers(0, 2**64 - 1),
+        st.sampled_from([2, 8, 32]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_validity_property(self, keys, probe, eps):
+        keys.sort()
+        idx = PGMIndex(epsilon=eps).build(np.array(keys, dtype=np.uint64))
+        assert validate_index(idx, [probe]) is None
+
+
+class TestPGMStructure:
+    def test_bound_width_limited_by_epsilon(self, amzn_small):
+        eps = 16
+        idx = build("PGM", amzn_small, epsilon=eps)
+        for key in amzn_small.keys[::97]:
+            bound = idx.lookup(int(key))
+            assert len(bound) <= 2 * eps + 3
+
+    def test_multilevel_on_hard_data(self, osm_small):
+        idx = build("PGM", osm_small, epsilon=4, root_limit=4)
+        assert idx.n_levels >= 2
+
+    def test_smaller_epsilon_bigger_index(self, amzn_small):
+        small = build("PGM", amzn_small, epsilon=256)
+        big = build("PGM", amzn_small, epsilon=4)
+        assert big.size_bytes() > small.size_bytes()
+
+    def test_lookup_descends_levels(self, osm_small):
+        idx = build("PGM", osm_small, epsilon=8, root_limit=4)
+        t = PerfTracer()
+        idx.lookup(int(osm_small.keys[100]), t)
+        # At least one read per level.
+        assert t.counters.reads >= idx.n_levels
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            PGMIndex(epsilon=0)
+
+    def test_tiny_dataset(self):
+        idx = PGMIndex(epsilon=4).build(np.array([7], dtype=np.uint64))
+        assert validate_index(idx, [0, 7, 8, 2**64 - 1]) is None
+
+    def test_mean_log2_error(self):
+        assert PGMIndex(epsilon=31).mean_log2_error() == pytest.approx(6.0)

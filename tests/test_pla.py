@@ -1,0 +1,89 @@
+"""Error-bounded piecewise linear approximation (PGM's fitting core)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learned.pla import fit_pla, max_pla_error
+
+sorted_unique_keys = st.lists(
+    st.integers(0, 2**62), min_size=1, max_size=400, unique=True
+).map(sorted)
+
+
+class TestFitPla:
+    def test_single_point(self):
+        segs = fit_pla([42], 4.0)
+        assert len(segs) == 1
+        assert segs[0].predict(42) == 0.0
+
+    def test_two_points(self):
+        segs = fit_pla([10, 20], 1.0)
+        assert len(segs) == 1
+
+    def test_collinear_needs_one_segment(self):
+        keys = list(range(0, 1000, 10))
+        segs = fit_pla(keys, 1.0)
+        assert len(segs) == 1
+        assert max_pla_error(keys, segs) <= 1.0
+
+    def test_error_bound_respected(self, amzn_small):
+        keys = amzn_small.keys.tolist()
+        for eps in (2.0, 8.0, 64.0):
+            segs = fit_pla(keys, eps)
+            assert max_pla_error(keys, segs) <= eps
+
+    def test_segments_decrease_with_epsilon(self, amzn_small):
+        keys = amzn_small.keys.tolist()
+        counts = [len(fit_pla(keys, eps)) for eps in (2.0, 8.0, 32.0, 128.0)]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[0] > counts[-1]
+
+    def test_first_keys_strictly_increasing(self, osm_small):
+        segs = fit_pla(osm_small.keys.tolist(), 16.0)
+        firsts = [s.first_key for s in segs]
+        assert firsts == sorted(set(firsts))
+
+    def test_slopes_non_negative(self, osm_small):
+        segs = fit_pla(osm_small.keys.tolist(), 16.0)
+        assert all(s.slope >= 0.0 for s in segs)
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError):
+            fit_pla([5, 5, 6], 2.0)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            fit_pla([1, 2], -1.0)
+
+    def test_empty(self):
+        assert fit_pla([], 2.0) == []
+
+    def test_custom_positions(self):
+        segs = fit_pla([1, 2, 3], 0.5, positions=[10, 20, 30])
+        assert segs[0].intercept == 10.0
+
+    @given(sorted_unique_keys, st.sampled_from([1.0, 4.0, 16.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_error_bound_property(self, keys, eps):
+        segs = fit_pla(keys, eps)
+        assert max_pla_error(keys, segs) <= eps
+        # Segment boundaries cover the key space from the first key.
+        assert segs[0].first_key == keys[0]
+
+    @given(sorted_unique_keys)
+    @settings(max_examples=30, deadline=None)
+    def test_zero_epsilon_still_valid(self, keys):
+        segs = fit_pla(keys, 0.0)
+        assert max_pla_error(keys, segs) <= 1e-6
+
+
+class TestSegmentPositions:
+    def test_position_ranges_partition(self, amzn_small):
+        keys = amzn_small.keys.tolist()
+        segs = fit_pla(keys, 16.0)
+        assert segs[0].first_pos == 0
+        assert segs[-1].last_pos == len(keys) - 1
+        for a, b in zip(segs, segs[1:]):
+            assert b.first_pos == a.last_pos + 1

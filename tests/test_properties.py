@@ -1,0 +1,103 @@
+"""Cross-index property tests on adversarial key distributions.
+
+Hypothesis drives every ordered index with pathological sorted arrays --
+dense runs, enormous gaps, clusters near 2**64, two-point sets -- and
+arbitrary probe keys.  The invariant under test is the benchmark's core
+contract: the returned bound contains the true lower-bound position.
+"""
+
+import bisect
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import make_index
+
+INDEX_CONFIGS = [
+    ("RMI", {"branching": 32}),
+    ("PGM", {"epsilon": 8}),
+    ("RS", {"epsilon": 8, "radix_bits": 6}),
+    ("RBS", {"radix_bits": 8}),
+    ("BTree", {"gap": 2}),
+    ("IBTree", {"gap": 2}),
+    ("FAST", {"gap": 2}),
+    ("ART", {"gap": 2}),
+    ("FST", {"gap": 2}),
+    ("Wormhole", {"gap": 2, "leaf_size": 4}),
+    ("BS", {}),
+]
+
+
+@st.composite
+def adversarial_keys(draw):
+    """Sorted unique uint64 arrays with nasty local structure."""
+    flavor = draw(st.sampled_from(["dense", "gaps", "top", "mixed", "tiny"]))
+    if flavor == "dense":
+        start = draw(st.integers(0, 2**63))
+        n = draw(st.integers(2, 120))
+        keys = list(range(start, start + n))
+    elif flavor == "gaps":
+        n = draw(st.integers(2, 60))
+        gaps = draw(
+            st.lists(
+                st.integers(1, 2**55), min_size=n, max_size=n
+            )
+        )
+        keys, total = [], 0
+        for g in gaps:
+            total += g
+            keys.append(total)
+    elif flavor == "top":
+        n = draw(st.integers(2, 80))
+        keys = sorted({2**64 - 1 - draw(st.integers(0, 10_000)) for _ in range(n)})
+    elif flavor == "tiny":
+        keys = sorted(draw(st.sets(st.integers(0, 50), min_size=2, max_size=20)))
+    else:
+        keys = sorted(
+            draw(
+                st.sets(
+                    st.integers(0, 2**64 - 1), min_size=2, max_size=150
+                )
+            )
+        )
+    return keys
+
+
+@pytest.mark.parametrize("index_name,config", INDEX_CONFIGS)
+@given(data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_bound_contains_lower_bound(index_name, config, data):
+    keys = data.draw(adversarial_keys())
+    idx = make_index(index_name, **config).build(
+        np.array(keys, dtype=np.uint64)
+    )
+    probes = [
+        data.draw(st.integers(0, 2**64 - 1)),
+        keys[0],
+        keys[-1],
+        max(keys[0] - 1, 0),
+        min(keys[-1] + 1, 2**64 - 1),
+        keys[len(keys) // 2],
+    ]
+    for probe in probes:
+        bound = idx.lookup(probe)
+        true_pos = bisect.bisect_left(keys, probe)
+        assert bound.contains(true_pos), (
+            f"{index_name}: probe {probe} -> [{bound.lo}, {bound.hi}) "
+            f"misses {true_pos}"
+        )
+
+
+@pytest.mark.parametrize("index_name,config", INDEX_CONFIGS)
+@given(data=st.data())
+@settings(max_examples=15, deadline=None)
+def test_bound_is_clamped_to_array(index_name, config, data):
+    keys = data.draw(adversarial_keys())
+    idx = make_index(index_name, **config).build(
+        np.array(keys, dtype=np.uint64)
+    )
+    probe = data.draw(st.integers(0, 2**64 - 1))
+    bound = idx.lookup(probe)
+    assert 0 <= bound.lo < bound.hi <= len(keys) + 1

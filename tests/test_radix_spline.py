@@ -1,0 +1,93 @@
+"""RadixSpline index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.validation import validate_index
+from repro.learned.radix_spline import RadixSplineIndex
+from repro.memsim import PerfTracer
+
+from conftest import build
+
+
+class TestRSValidity:
+    @pytest.mark.parametrize("epsilon,bits", [(8, 6), (32, 10), (128, 14)])
+    def test_valid_on_all_datasets(self, all_datasets_small, epsilon, bits):
+        for name, ds in all_datasets_small.items():
+            idx = build("RS", ds, epsilon=epsilon, radix_bits=bits)
+            probes = list(ds.keys[::43]) + [0, 2**64 - 1]
+            assert validate_index(idx, probes) is None, name
+
+    def test_valid_on_absent_keys(self, amzn_small, amzn_workload):
+        idx = build("RS", amzn_small, epsilon=16, radix_bits=8)
+        assert validate_index(idx, amzn_workload.keys_py) is None
+
+    def test_extreme_probes(self, amzn_small, extreme_probe_keys):
+        idx = build("RS", amzn_small, epsilon=16, radix_bits=8)
+        assert validate_index(idx, extreme_probe_keys) is None
+
+    @given(
+        st.lists(st.integers(0, 2**64 - 1), min_size=2, max_size=300, unique=True),
+        st.integers(0, 2**64 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_validity_property(self, keys, probe):
+        keys.sort()
+        idx = RadixSplineIndex(epsilon=8, radix_bits=6).build(
+            np.array(keys, dtype=np.uint64)
+        )
+        assert validate_index(idx, [probe]) is None
+
+
+class TestRSStructure:
+    def test_bound_width_limited_by_epsilon(self, amzn_small):
+        eps = 16
+        idx = build("RS", amzn_small, epsilon=eps, radix_bits=10)
+        for key in amzn_small.keys[::71]:
+            bound = idx.lookup(int(key))
+            assert len(bound) <= 2 * eps + 3
+
+    def test_radix_table_narrows_search(self, amzn_small):
+        """More radix bits -> fewer spline-search steps (fewer branches)."""
+
+        def branches(bits):
+            idx = build("RS", amzn_small, epsilon=128, radix_bits=bits)
+            t = PerfTracer()
+            for key in amzn_small.keys[::59]:
+                idx.lookup(int(key), t)
+            return t.counters.branches
+
+        assert branches(12) < branches(4)
+
+    def test_face_outliers_defeat_radix_table(self, all_datasets_small):
+        """The paper's RBS/face observation applies to RS's table too."""
+        face = all_datasets_small["face"]
+        amzn = all_datasets_small["amzn"]
+
+        def search_branches(ds):
+            idx = build("RS", ds, epsilon=32, radix_bits=10)
+            t = PerfTracer()
+            for key in ds.keys[::47]:
+                idx.lookup(int(key), t)
+            return t.counters.branches / (len(ds.keys) // 47 + 1)
+
+        assert search_branches(face) > 2 * search_branches(amzn)
+
+    def test_smaller_epsilon_more_knots(self, osm_small):
+        fine = build("RS", osm_small, epsilon=4, radix_bits=8)
+        coarse = build("RS", osm_small, epsilon=64, radix_bits=8)
+        assert fine.n_spline_points > coarse.n_spline_points
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            RadixSplineIndex(epsilon=0)
+        with pytest.raises(ValueError):
+            RadixSplineIndex(radix_bits=40)
+
+    def test_tiny_dataset(self):
+        idx = RadixSplineIndex(epsilon=4, radix_bits=4).build(
+            np.array([5, 9], dtype=np.uint64)
+        )
+        assert validate_index(idx, [0, 5, 7, 9, 10, 2**64 - 1]) is None

@@ -1,0 +1,76 @@
+"""Mixed read/write workload harness."""
+
+import pytest
+
+from repro.bench.readwrite import (
+    DictStore,
+    SortedArrayStore,
+    default_stores,
+    make_mixed_workload,
+    run_mixed,
+)
+
+
+class TestWorkloadGeneration:
+    def test_counts_and_mix(self):
+        wl = make_mixed_workload(1_000, 0.7, n_preload=200, seed=1)
+        assert wl.n_ops == 1_000
+        reads = sum(1 for op in wl.operations if op[0] == "read")
+        assert 600 <= reads <= 800
+        assert len(wl.preload) == 200
+
+    def test_pure_read_and_pure_write(self):
+        reads_only = make_mixed_workload(200, 1.0, n_preload=50, seed=2)
+        assert all(op[0] == "read" for op in reads_only.operations)
+        writes_only = make_mixed_workload(200, 0.0, n_preload=50, seed=2)
+        assert all(op[0] == "insert" for op in writes_only.operations)
+
+    def test_reads_target_known_keys(self):
+        wl = make_mixed_workload(500, 0.5, n_preload=100, seed=3)
+        known = {k for k, _ in wl.preload}
+        known |= {op[1] for op in wl.operations if op[0] == "insert"}
+        for op in wl.operations:
+            if op[0] == "read":
+                assert op[1] in known
+
+    def test_deterministic(self):
+        a = make_mixed_workload(300, 0.5, n_preload=50, seed=7)
+        b = make_mixed_workload(300, 0.5, n_preload=50, seed=7)
+        assert a.operations == b.operations
+
+    def test_uniform_distribution_mode(self):
+        wl = make_mixed_workload(
+            300, 0.5, n_preload=50, distribution="uniform", seed=4
+        )
+        assert wl.n_ops == 300
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            make_mixed_workload(10, 1.5)
+        with pytest.raises(ValueError):
+            make_mixed_workload(10, 0.5, distribution="normal")
+
+
+class TestRunMixed:
+    def test_all_reads_hit(self):
+        wl = make_mixed_workload(400, 0.6, n_preload=100, seed=5)
+        result = run_mixed("dict", DictStore, wl)
+        reads = sum(1 for op in wl.operations if op[0] == "read")
+        assert result.reads_hit == reads
+        assert result.ops_per_sec > 0
+
+    @pytest.mark.parametrize("name", sorted(default_stores()))
+    def test_every_store_agrees_with_dict(self, name):
+        wl = make_mixed_workload(300, 0.5, n_preload=80, seed=6)
+        reference = run_mixed("dict", DictStore, wl)
+        result = run_mixed(name, default_stores()[name], wl)
+        assert result.reads_hit == reference.reads_hit
+
+    def test_sorted_array_store_semantics(self):
+        s = SortedArrayStore()
+        s.insert(5, 1)
+        s.insert(3, 2)
+        s.insert(5, 3)  # overwrite
+        assert s.get(5) == 3
+        assert s.get(3) == 2
+        assert s.get(4) is None

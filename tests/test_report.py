@@ -1,0 +1,44 @@
+"""Text reporting helpers."""
+
+from repro.bench.report import _fmt, bullet_list, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        out = format_table(["name", "value"], [("a", 1.0), ("bbb", 22.5)])
+        lines = out.split("\n")
+        assert len(lines) == 4
+        assert set(lines[1].replace(" ", "")) == {"-"}
+        # Columns aligned: all lines same length.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_wide_cell_expands_column(self):
+        out = format_table(["x"], [("short",), ("a-much-longer-cell",)])
+        assert "a-much-longer-cell" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+
+class TestFmt:
+    def test_float_formats(self):
+        assert _fmt(0.0) == "0"
+        assert _fmt(3.14159) == "3.142"
+        assert _fmt(42.123) == "42.1"
+        assert _fmt(12345.6) == "12,346"
+
+    def test_non_float_passthrough(self):
+        assert _fmt("abc") == "abc"
+        assert _fmt(7) == "7"
+
+
+def test_format_series():
+    out = format_series("title", [(1, 2.0), (3, 4.0)])
+    assert out.startswith("title")
+    assert "  1  2.000" in out
+
+
+def test_bullet_list():
+    out = bullet_list(["one", "two"])
+    assert out == "  * one\n  * two"

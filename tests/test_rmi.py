@@ -1,0 +1,118 @@
+"""Recursive model index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.validation import validate_index
+from repro.learned.rmi import RMIIndex
+from repro.memsim import AddressSpace, PerfTracer, TracedArray
+
+from conftest import build
+
+
+class TestRMIValidity:
+    @pytest.mark.parametrize("stage1", ["linear", "cubic", "loglinear", "radix"])
+    def test_valid_on_all_datasets(self, all_datasets_small, stage1):
+        for name, ds in all_datasets_small.items():
+            idx = build("RMI", ds, branching=128, stage1=stage1)
+            probes = list(ds.keys[::37]) + [0, 2**64 - 1]
+            assert validate_index(idx, probes) is None, (name, stage1)
+
+    def test_valid_on_absent_keys(self, amzn_small, amzn_workload):
+        idx = build("RMI", amzn_small, branching=64)
+        assert validate_index(idx, amzn_workload.keys_py) is None
+
+    def test_extreme_probes(self, amzn_small, extreme_probe_keys):
+        idx = build("RMI", amzn_small, branching=256)
+        assert validate_index(idx, extreme_probe_keys) is None
+
+    @given(
+        st.lists(st.integers(0, 2**64 - 1), min_size=2, max_size=300, unique=True),
+        st.integers(0, 2**64 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_validity_property(self, keys, probe):
+        keys.sort()
+        idx = RMIIndex(branching=16).build(np.array(keys, dtype=np.uint64))
+        assert validate_index(idx, [probe]) is None
+
+
+class TestRMIStructure:
+    def test_branching_one(self, amzn_small):
+        idx = build("RMI", amzn_small, branching=1)
+        assert validate_index(idx, list(amzn_small.keys[::101])) is None
+
+    def test_error_shrinks_with_branching(self, amzn_small):
+        errors = [
+            build("RMI", amzn_small, branching=b).mean_log2_error()
+            for b in (4, 64, 1024)
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_size_grows_with_branching(self, amzn_small):
+        sizes = [
+            build("RMI", amzn_small, branching=b).size_bytes()
+            for b in (16, 256, 4096)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_two_reads_per_lookup(self, amzn_small):
+        """The paper's 'at most two cache misses for RMI inference'."""
+        idx = build("RMI", amzn_small, branching=512)
+        t = PerfTracer()
+        idx.lookup(int(amzn_small.keys[1234]), t)
+        assert t.counters.reads == 2
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            RMIIndex(branching=0)
+        with pytest.raises(ValueError):
+            RMIIndex(stage2="cubic")
+
+    def test_empty_buckets_handled(self):
+        # Heavily clustered keys leave most buckets empty.
+        keys = np.array(
+            sorted({2**40 + i for i in range(50)} | {2**50 + i for i in range(50)}),
+            dtype=np.uint64,
+        )
+        idx = RMIIndex(branching=1024).build(keys)
+        probes = [0, 2**40 + 25, 2**45, 2**50 + 25, 2**63]
+        assert validate_index(idx, probes) is None
+
+    def test_repr_shows_size(self, amzn_small):
+        idx = build("RMI", amzn_small, branching=64)
+        assert "MB" in repr(idx)
+
+
+class TestRMITuner:
+    def test_tuner_returns_pareto_set(self, amzn_small):
+        from repro.learned.cdfshop import tune_rmi
+
+        configs = tune_rmi(
+            amzn_small.keys,
+            stage1_types=("linear", "cubic"),
+            min_branching_power=4,
+            max_branching_power=10,
+            branching_step=3,
+        )
+        assert configs
+        sizes = [c.size_bytes for c in configs]
+        errors = [c.mean_log2_error for c in configs]
+        assert sizes == sorted(sizes)
+        assert errors == sorted(errors, reverse=True)
+
+    def test_tuned_config_builds_valid_index(self, amzn_small):
+        from repro.learned.cdfshop import tune_rmi
+
+        cfg = tune_rmi(
+            amzn_small.keys,
+            stage1_types=("linear",),
+            min_branching_power=6,
+            max_branching_power=8,
+        )[0]
+        space = AddressSpace()
+        data = TracedArray.allocate(space, amzn_small.keys, name="data")
+        idx = cfg.build(data, space)
+        assert validate_index(idx, list(amzn_small.keys[::53])) is None

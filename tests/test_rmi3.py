@@ -1,0 +1,75 @@
+"""Three-stage RMI extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.validation import validate_index
+from repro.learned.rmi3 import RMI3Index
+from repro.memsim import PerfTracer
+
+from conftest import build
+
+
+class TestRMI3Validity:
+    def test_valid_on_all_datasets(self, all_datasets_small):
+        for name, ds in all_datasets_small.items():
+            idx = build("RMI3", ds, branching=256, mid_branching=16)
+            probes = list(ds.keys[::37]) + [0, 2**64 - 1]
+            assert validate_index(idx, probes) is None, name
+
+    def test_valid_on_absent_keys(self, amzn_small, amzn_workload):
+        idx = build("RMI3", amzn_small, branching=128, mid_branching=8)
+        assert validate_index(idx, amzn_workload.keys_py) is None
+
+    def test_extreme_probes(self, amzn_small, extreme_probe_keys):
+        idx = build("RMI3", amzn_small, branching=128, mid_branching=8)
+        assert validate_index(idx, extreme_probe_keys) is None
+
+    @given(
+        st.lists(st.integers(0, 2**64 - 1), min_size=2, max_size=250, unique=True),
+        st.integers(0, 2**64 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_validity_property(self, keys, probe):
+        keys.sort()
+        idx = RMI3Index(branching=64, mid_branching=8).build(
+            np.array(keys, dtype=np.uint64)
+        )
+        assert validate_index(idx, [probe]) is None
+
+
+class TestRMI3Structure:
+    def test_three_reads_per_lookup(self, amzn_small):
+        idx = build("RMI3", amzn_small, branching=512, mid_branching=32)
+        t = PerfTracer()
+        idx.lookup(int(amzn_small.keys[1000]), t)
+        assert t.counters.reads == 3
+
+    def test_more_accurate_than_two_stage_at_same_leaves(self, osm_small):
+        from repro.learned.rmi import RMIIndex
+
+        two = RMIIndex(branching=256, stage1="linear").build(osm_small.keys)
+        three = build(
+            "RMI3", osm_small, branching=256, mid_branching=32, stage1="linear"
+        )
+        # Average bound width across sampled lookups.
+        def avg_width(idx):
+            widths = [
+                len(idx.lookup(int(k))) for k in osm_small.keys[::53]
+            ]
+            return sum(widths) / len(widths)
+
+        assert avg_width(three) <= avg_width(two)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            RMI3Index(branching=0)
+        with pytest.raises(ValueError):
+            RMI3Index(mid_branching=0)
+
+    def test_sweep_configs(self):
+        configs = RMI3Index.size_sweep_configs(100_000)
+        assert configs
+        assert all("mid_branching" in c for c in configs)

@@ -1,0 +1,108 @@
+"""Zipfian workloads and SIP last-mile search (extensions)."""
+
+import bisect
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import SearchBound
+from repro.datasets import make_workload
+from repro.datasets.workload import _zipf_ranks
+from repro.memsim import AddressSpace, PerfTracer, TracedArray
+from repro.search.last_mile import binary_search, sip_search
+
+
+class TestZipfWorkload:
+    def test_keys_are_present(self, amzn_small):
+        wl = make_workload(amzn_small, 300, mode="zipf")
+        key_set = set(amzn_small.keys.tolist())
+        assert all(k in key_set for k in wl.keys_py)
+
+    def test_skew_concentrates_mass(self, amzn_small):
+        wl = make_workload(amzn_small, 3_000, mode="zipf", zipf_theta=1.2)
+        counts = Counter(wl.keys_py)
+        top_share = sum(c for _, c in counts.most_common(10)) / wl.n
+        assert top_share > 0.15  # ten hottest keys dominate
+
+    def test_higher_theta_more_skew(self, amzn_small):
+        def top1_share(theta):
+            wl = make_workload(
+                amzn_small, 3_000, mode="zipf", zipf_theta=theta, seed=5
+            )
+            return Counter(wl.keys_py).most_common(1)[0][1] / wl.n
+
+        assert top1_share(1.4) > top1_share(0.5)
+
+    def test_ranks_within_range(self):
+        rng = np.random.default_rng(0)
+        ranks = _zipf_ranks(rng, 100, 5_000, 0.99)
+        assert ranks.min() >= 0 and ranks.max() < 100
+
+    def test_invalid_theta(self, amzn_small):
+        with pytest.raises(ValueError):
+            make_workload(amzn_small, 10, mode="zipf", zipf_theta=0.0)
+
+    def test_true_positions_correct(self, amzn_small):
+        wl = make_workload(amzn_small, 200, mode="zipf")
+        keys = amzn_small.keys
+        for k, p in zip(wl.keys_py[:50], wl.positions_py[:50]):
+            assert p == int(np.searchsorted(keys, np.uint64(k)))
+
+    def test_zipf_workload_cache_benefit(self, amzn_small):
+        """The ext2 premise: skewed lookups hit caches more."""
+        from repro.bench.harness import build_index, measure
+
+        built = build_index(amzn_small, "RMI", {"branching": 256})
+        uniform = make_workload(amzn_small, 600, mode="present", seed=3)
+        zipf = make_workload(
+            amzn_small, 600, mode="zipf", zipf_theta=1.4, seed=3
+        )
+        m_u = measure(built, uniform, n_lookups=300, warmup=200)
+        m_z = measure(built, zipf, n_lookups=300, warmup=200)
+        assert m_z.counters.llc_misses < m_u.counters.llc_misses
+
+
+def traced(keys):
+    space = AddressSpace()
+    return TracedArray.allocate(space, np.asarray(keys, dtype=np.uint64))
+
+
+class TestSipSearch:
+    def test_matches_bisect(self):
+        keys = list(range(0, 5_000, 3))
+        data = traced(keys)
+        for probe in [0, 1, 2_501, 4_998, 4_999, 5_000]:
+            pos = sip_search(data, probe, SearchBound(0, len(keys) + 1))
+            assert pos == bisect.bisect_left(keys, probe)
+
+    @given(
+        st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=300, unique=True),
+        st.integers(0, 2**64 - 1),
+        st.integers(0, 30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property(self, keys, probe, slack):
+        keys.sort()
+        data = traced(keys)
+        truth = bisect.bisect_left(keys, probe)
+        bound = SearchBound(
+            max(0, truth - slack), min(truth + slack + 1, len(keys) + 1)
+        )
+        assert sip_search(data, probe, bound) == truth
+
+    def test_division_free_steps_on_uniform(self):
+        keys = list(range(0, 400_000, 7))
+        data = traced(keys)
+        t_sip, t_bin = PerfTracer(), PerfTracer()
+        full = SearchBound(0, len(keys) + 1)
+        sip_search(data, 210_007, full, t_sip)
+        binary_search(data, 210_007, full, t_bin)
+        assert t_sip.counters.reads < t_bin.counters.reads
+
+    def test_small_bound_falls_back_to_binary(self):
+        keys = [5, 10, 15]
+        data = traced(keys)
+        assert sip_search(data, 12, SearchBound(0, 4)) == 2

@@ -1,0 +1,67 @@
+"""Greedy spline corridor (RadixSpline's fitting core)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learned.spline import fit_spline, interpolate, max_spline_error
+
+sorted_unique_keys = st.lists(
+    st.integers(0, 2**62), min_size=2, max_size=400, unique=True
+).map(sorted)
+
+
+class TestFitSpline:
+    def test_endpoints_are_knots(self, amzn_small):
+        keys = amzn_small.keys.tolist()
+        knots = fit_spline(keys, 16.0)
+        assert knots[0] == (keys[0], 0)
+        assert knots[-1] == (keys[-1], len(keys) - 1)
+
+    def test_error_bound_respected(self, osm_small):
+        keys = osm_small.keys.tolist()
+        for eps in (4.0, 32.0, 128.0):
+            knots = fit_spline(keys, eps)
+            assert max_spline_error(keys, knots) <= eps
+
+    def test_knots_decrease_with_epsilon(self, osm_small):
+        keys = osm_small.keys.tolist()
+        counts = [len(fit_spline(keys, e)) for e in (2.0, 16.0, 128.0)]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_collinear_two_knots(self):
+        keys = list(range(0, 5000, 5))
+        knots = fit_spline(keys, 1.0)
+        assert len(knots) == 2
+
+    def test_single_key(self):
+        assert fit_spline([99], 4.0) == [(99, 0)]
+
+    def test_empty(self):
+        assert fit_spline([], 4.0) == []
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            fit_spline([3, 3], 1.0)
+
+    def test_knot_keys_strictly_increasing(self, osm_small):
+        knots = fit_spline(osm_small.keys.tolist(), 8.0)
+        kk = [k for k, _ in knots]
+        assert all(b > a for a, b in zip(kk, kk[1:]))
+
+    @given(sorted_unique_keys, st.sampled_from([1.0, 8.0, 64.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_error_property(self, keys, eps):
+        knots = fit_spline(keys, eps)
+        assert max_spline_error(keys, knots) <= eps
+
+
+class TestInterpolate:
+    def test_exact_at_knots(self):
+        knots = [(0, 0), (100, 50)]
+        assert interpolate(knots, 0, 0) == 0.0
+        assert interpolate(knots, 0, 100) == 50.0
+
+    def test_midpoint(self):
+        knots = [(0, 0), (100, 50)]
+        assert interpolate(knots, 0, 50) == pytest.approx(25.0)

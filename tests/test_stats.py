@@ -1,0 +1,89 @@
+"""OLS regression statistics."""
+
+import numpy as np
+import pytest
+
+from repro.bench.stats import ols
+
+
+class TestOls:
+    def test_recovers_known_coefficients(self):
+        rng = np.random.default_rng(0)
+        x1 = rng.normal(size=200)
+        x2 = rng.normal(size=200)
+        y = 3.0 + 2.0 * x1 - 0.5 * x2 + rng.normal(scale=0.01, size=200)
+        r = ols({"x1": x1, "x2": x2}, y)
+        assert r.coefficient("x1").beta == pytest.approx(2.0, abs=0.01)
+        assert r.coefficient("x2").beta == pytest.approx(-0.5, abs=0.01)
+        assert r.coefficient("intercept").beta == pytest.approx(3.0, abs=0.01)
+        assert r.r_squared > 0.999
+
+    def test_significance(self):
+        rng = np.random.default_rng(1)
+        x1 = rng.normal(size=300)
+        noise = rng.normal(size=300)
+        y = 5.0 * x1 + rng.normal(scale=0.5, size=300)
+        r = ols({"signal": x1, "noise_col": noise}, y)
+        assert r.coefficient("signal").significant()
+        assert not r.coefficient("noise_col").significant()
+
+    def test_standardized_coefficients(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=500)
+        y = 4.0 * x  # perfectly explained
+        r = ols({"x": x}, y)
+        assert r.coefficient("x").standardized == pytest.approx(1.0, abs=1e-6)
+
+    def test_r_squared_zero_for_pure_noise(self):
+        rng = np.random.default_rng(3)
+        r = ols({"x": rng.normal(size=500)}, rng.normal(size=500))
+        assert r.r_squared < 0.05
+
+    def test_adjusted_below_r2(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=50)
+        y = x + rng.normal(scale=0.5, size=50)
+        r = ols({"x": x, "junk": rng.normal(size=50)}, y)
+        assert r.adjusted_r_squared <= r.r_squared
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ols({"x": [1, 2, 3]}, [1, 2])
+
+    def test_too_few_observations_rejected(self):
+        with pytest.raises(ValueError):
+            ols({"x": [1.0, 2.0]}, [1.0, 2.0])
+
+    def test_unknown_coefficient_keyerror(self):
+        r = ols({"x": np.arange(10.0)}, np.arange(10.0) + np.random.default_rng(0).normal(size=10))
+        with pytest.raises(KeyError):
+            r.coefficient("y")
+
+
+class TestCorrelations:
+    def test_perfect_positive_and_negative(self):
+        from repro.bench.stats import correlations
+
+        x = np.arange(100.0)
+        out = correlations({"pos": x, "neg": -x}, x)
+        assert out["pos"] == pytest.approx(1.0)
+        assert out["neg"] == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self):
+        from repro.bench.stats import correlations
+
+        rng = np.random.default_rng(5)
+        out = correlations({"noise": rng.normal(size=2_000)}, rng.normal(size=2_000))
+        assert abs(out["noise"]) < 0.1
+
+    def test_constant_feature_zero(self):
+        from repro.bench.stats import correlations
+
+        out = correlations({"const": np.ones(10)}, np.arange(10.0))
+        assert out["const"] == 0.0
+
+    def test_length_mismatch(self):
+        from repro.bench.stats import correlations
+
+        with pytest.raises(ValueError):
+            correlations({"x": [1.0, 2.0]}, [1.0, 2.0, 3.0])

@@ -1,0 +1,120 @@
+"""SVG plotting module."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.bench.harness import Measurement
+from repro.bench.svgplot import (
+    SvgCanvas,
+    _fmt_tick,
+    _nice_linear_ticks,
+    _nice_log_ticks,
+    pareto_figure,
+    series_figure,
+)
+from repro.memsim.counters import PerfCountersF
+
+
+def fake(index, size_mb, latency):
+    return Measurement(
+        index=index,
+        dataset="amzn",
+        config={},
+        n_keys=1000,
+        size_bytes=int(size_mb * 1048576),
+        build_seconds=0.0,
+        counters=PerfCountersF(),
+        latency_ns=latency,
+        fence_latency_ns=latency * 1.3,
+        avg_log2_bound=4.0,
+        n_lookups=100,
+    )
+
+
+class TestTicks:
+    def test_log_ticks_cover_range(self):
+        ticks = _nice_log_ticks(0.003, 45.0)
+        assert ticks[0] <= 0.003
+        assert ticks[-1] >= 45.0
+        assert all(b / a == pytest.approx(10.0) for a, b in zip(ticks, ticks[1:]))
+
+    def test_linear_ticks_are_round(self):
+        ticks = _nice_linear_ticks(0, 950)
+        assert len(ticks) >= 4
+        assert all(t == round(t, 6) for t in ticks)
+
+    def test_fmt_tick(self):
+        assert _fmt_tick(0) == "0"
+        assert _fmt_tick(100) == "100"
+        assert _fmt_tick(0.001) == "1e-3"
+
+
+class TestCanvas:
+    def test_transforms_monotone(self):
+        c = SvgCanvas((0.01, 10.0), (0.0, 100.0), "t", "x", "y")
+        assert c.x_px(0.01) < c.x_px(1.0) < c.x_px(10.0)
+        assert c.y_px(0.0) > c.y_px(50.0) > c.y_px(100.0)
+
+    def test_render_is_valid_xml(self):
+        c = SvgCanvas((0.01, 10.0), (0.0, 100.0), "t", "x", "y")
+        c.dots([(0.1, 30.0), (1.0, 60.0)], "#000")
+        c.polyline([(0.1, 30.0), (1.0, 60.0)], "#000")
+        c.hline(50.0)
+        c.legend([("a", "#000")])
+        root = ET.fromstring(c.render())
+        assert root.tag.endswith("svg")
+
+
+class TestFigures:
+    def test_pareto_figure_structure(self):
+        ms = [
+            fake("RMI", 0.01, 400),
+            fake("RMI", 0.1, 300),
+            fake("BTree", 0.05, 450),
+        ]
+        svg = pareto_figure(ms, title="amzn", baseline_ns=500.0)
+        root = ET.fromstring(svg)
+        circles = root.findall(".//{http://www.w3.org/2000/svg}circle")
+        assert len(circles) == 3
+        assert "RMI" in svg and "BTree" in svg and "BS baseline" in svg
+
+    def test_pareto_rejects_empty(self):
+        with pytest.raises(ValueError):
+            pareto_figure([])
+
+    def test_series_figure(self):
+        svg = series_figure(
+            {"RMI": [(1, 4.0), (40, 90.0)], "PGM": [(1, 3.0), (40, 80.0)]},
+            title="threads",
+            x_label="threads",
+            y_label="M lookups/s",
+        )
+        root = ET.fromstring(svg)
+        polylines = root.findall(".//{http://www.w3.org/2000/svg}polyline")
+        assert len(polylines) == 2
+
+
+class TestCliFlag:
+    def test_save_svg(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        rc = main(
+            [
+                "--experiment",
+                "fig7",
+                "--quick",
+                "--n-keys",
+                "2500",
+                "--n-lookups",
+                "40",
+                "--datasets",
+                "amzn",
+                "--save-svg",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        svg_file = tmp_path / "pareto_amzn.svg"
+        assert svg_file.exists()
+        ET.parse(svg_file)  # well-formed

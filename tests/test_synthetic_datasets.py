@@ -1,0 +1,49 @@
+"""Synthetic extras (uniform, lognormal) and the paper's point about them."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import SYNTHETIC_GENERATORS
+from repro.datasets.loader import ALL_DATASET_NAMES, DATASET_NAMES, make_dataset
+
+
+@pytest.mark.parametrize("name", sorted(SYNTHETIC_GENERATORS))
+class TestSyntheticContract:
+    def test_exact_count_sorted_unique(self, name):
+        keys = SYNTHETIC_GENERATORS[name](2_000, seed=3)
+        assert len(keys) == 2_000
+        as_obj = keys.astype(object)
+        assert all(b > a for a, b in zip(as_obj, as_obj[1:]))
+
+    def test_loadable_by_name(self, name):
+        ds = make_dataset(name, 1_500, seed=1)
+        assert ds.n == 1_500
+
+
+def test_defaults_exclude_synthetics():
+    """The paper's evaluation excludes synthetic data (Section 4.1.2)."""
+    assert set(DATASET_NAMES) == {"amzn", "face", "osm", "wiki"}
+    assert set(ALL_DATASET_NAMES) >= set(DATASET_NAMES) | {"uniform", "lognormal"}
+
+
+def test_lognormal_is_trivially_learnable():
+    """'Drawn from a known distribution, in which case learning the
+    distribution is trivial' -- a small PGM gets tiny segments counts
+    relative to osm."""
+    from repro.learned.pla import fit_pla
+
+    logn = make_dataset("lognormal", 8_000, seed=0)
+    osm = make_dataset("osm", 8_000, seed=0)
+    segs_logn = len(fit_pla(logn.keys.tolist(), 64.0))
+    segs_osm = len(fit_pla(osm.keys.tolist(), 64.0))
+    assert segs_logn < segs_osm
+
+def test_uniform_favours_rbs():
+    """On uniform data the radix table is a near-perfect index."""
+    from conftest import build
+    from repro.memsim import PerfTracer
+
+    ds = make_dataset("uniform", 8_000, seed=0)
+    idx = build("RBS", ds, radix_bits=12)
+    widths = [len(idx.lookup(int(k))) for k in ds.keys[::97]]
+    assert sum(widths) / len(widths) < 8
