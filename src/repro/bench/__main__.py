@@ -15,8 +15,11 @@ import argparse
 import sys
 import time
 
+from repro.bench.cache import MeasurementCache, default_cache_dir
 from repro.bench.config import BenchSettings
 from repro.bench.experiments import EXPERIMENTS
+from repro.bench.parallel import collect_cells, resolve_jobs, run_cells
+from repro.bench.report import format_runner_stats
 from repro.datasets.loader import DATASET_NAMES
 
 
@@ -49,6 +52,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="small preset (40k keys, 250 lookups, 4 configs per sweep)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the measurement grid (default: "
+        "$REPRO_JOBS or 1); results are bit-identical at any job count",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persistent measurement cache directory (default: "
+        "$REPRO_CACHE_DIR or .repro_cache/measurements); re-runs and "
+        "interrupted sweeps resume from it",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent measurement cache",
+    )
+    parser.add_argument(
         "--save-measurements",
         metavar="PATH",
         default=None,
@@ -78,12 +101,21 @@ def settings_from_args(args) -> BenchSettings:
     ):
         if arg is not None:
             setattr(settings, field_name, arg)
+    settings.jobs = resolve_jobs(args.jobs)
+    if args.no_cache:
+        settings.cache_dir = None
+    else:
+        settings.cache_dir = args.cache_dir or default_cache_dir()
     return settings
 
 
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
-    settings = settings_from_args(args)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        settings = settings_from_args(args)
+    except ValueError as exc:
+        parser.error(str(exc))
     if args.experiment == "all":
         chosen = list(EXPERIMENTS)
     elif args.experiment in EXPERIMENTS:
@@ -95,13 +127,35 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 2
-    for exp_id in chosen:
-        start = time.perf_counter()
-        report = EXPERIMENTS[exp_id](settings)
-        elapsed = time.perf_counter() - start
-        print(f"{'=' * 72}\n[{exp_id}] ({elapsed:.1f}s)\n{'=' * 72}")
-        print(report)
-        print()
+
+    from repro.bench.experiments import common
+
+    cache = None
+    if settings.cache_dir:
+        cache = MeasurementCache(settings.cache_dir)
+    previous_cache = common.get_active_cache()
+    common.set_active_cache(cache)
+    try:
+        # Pre-compute the measurement grid of every chosen experiment:
+        # cells resolve through the persistent cache and fan out over
+        # --jobs processes, then the drivers below hit memoized results.
+        # Result ordering is the deterministic cell order, never
+        # completion order.
+        cells = collect_cells(chosen, settings)
+        if cells:
+            _, stats = run_cells(cells, jobs=settings.jobs, cache=cache)
+            print(format_runner_stats(stats))
+            print()
+
+        for exp_id in chosen:
+            start = time.perf_counter()
+            report = EXPERIMENTS[exp_id](settings)
+            elapsed = time.perf_counter() - start
+            print(f"{'=' * 72}\n[{exp_id}] ({elapsed:.1f}s)\n{'=' * 72}")
+            print(report)
+            print()
+    finally:
+        common.set_active_cache(previous_cache)
     if args.save_measurements:
         from repro.bench.experiments import common
         from repro.bench.export import write_measurements

@@ -1,0 +1,146 @@
+"""Persistent on-disk measurement cache.
+
+Each :class:`~repro.bench.cells.MeasureCell` hashes to a stable content
+key (dataset name/size/seed/key-bits, index name, sorted config, workload
+parameters, plus a cache schema version); its measurement is stored as
+one small JSON file under that key.  Re-runs and interrupted sweeps then
+resume instead of recomputing -- the simulator is deterministic, so a
+cached record is exactly what a fresh run would produce.
+
+The JSON round-trip is lossless: floats survive ``json`` exactly (it
+emits shortest round-trip reprs), and configs are restricted to JSON
+scalars by construction.  Bump :data:`CACHE_SCHEMA_VERSION` whenever the
+simulator or the measurement schema changes meaning; old entries are then
+simply never looked up again (their keys hash differently).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+
+from dataclasses import fields
+from typing import Optional
+
+from repro.bench.cells import MeasureCell
+from repro.bench.harness import Measurement
+from repro.memsim.counters import PerfCountersF
+
+#: Bump when measurement semantics change (simulator, cost model, or the
+#: record layout); this invalidates every previously cached entry.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default cache location (CLI), overridable via ``REPRO_CACHE_DIR``.
+DEFAULT_CACHE_DIR = os.path.join(".repro_cache", "measurements")
+
+_COUNTER_NAMES = tuple(f.name for f in fields(PerfCountersF))
+
+
+def default_cache_dir() -> str:
+    return os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+
+
+def cache_key(cell: MeasureCell, schema_version: Optional[int] = None) -> str:
+    """Stable content hash of a cell's identity fields.
+
+    Insensitive to config dict ordering (cells freeze configs sorted) and
+    to Python hash randomization; sensitive to every field that changes
+    what gets measured, and to the schema version.
+    """
+    if schema_version is None:
+        schema_version = CACHE_SCHEMA_VERSION
+    payload = {"schema": schema_version, "cell": cell.key_fields()}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:40]
+
+
+def measurement_to_record(m: Measurement) -> dict:
+    """Full, lossless JSON form of a measurement (unlike ``export``'s
+    flattened rows, this keeps every field needed to reconstruct)."""
+    return {
+        "index": m.index,
+        "dataset": m.dataset,
+        "config": m.config,
+        "n_keys": m.n_keys,
+        "size_bytes": m.size_bytes,
+        "build_seconds": m.build_seconds,
+        "counters": {name: getattr(m.counters, name) for name in _COUNTER_NAMES},
+        "latency_ns": m.latency_ns,
+        "fence_latency_ns": m.fence_latency_ns,
+        "avg_log2_bound": m.avg_log2_bound,
+        "n_lookups": m.n_lookups,
+        "warm": m.warm,
+        "search": m.search,
+        "key_bits": m.key_bits,
+    }
+
+
+def measurement_from_record(record: dict) -> Measurement:
+    record = dict(record)
+    record["counters"] = PerfCountersF(**record["counters"])
+    return Measurement(**record)
+
+
+class MeasurementCache:
+    """Directory of ``<content-key>.json`` measurement records.
+
+    Writes are atomic (temp file + ``os.replace``), so concurrent runs
+    sharing a cache directory at worst redo a cell, never corrupt one.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, cell: MeasureCell) -> str:
+        return os.path.join(self.directory, cache_key(cell) + ".json")
+
+    def get(self, cell: MeasureCell) -> Optional[Measurement]:
+        path = self._path(cell)
+        try:
+            with open(path) as f:
+                entry = json.load(f)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return measurement_from_record(entry["measurement"])
+
+    def put(self, cell: MeasureCell, measurement: Measurement) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "cell": cell.key_fields(),
+            "measurement": measurement_to_record(measurement),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(entry, f, indent=1, sort_keys=True)
+            os.replace(tmp, self._path(cell))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        return sum(
+            1
+            for n in names
+            if n.endswith(".json") and not n.startswith(".tmp-")
+        )
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

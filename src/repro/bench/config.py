@@ -27,6 +27,12 @@ class BenchSettings:
     max_configs: Optional[int] = None
     #: Restrict to these index names (None = experiment default).
     indexes: Optional[List[str]] = None
+    #: Worker processes for the parallel runner (CLI: ``--jobs`` /
+    #: ``REPRO_JOBS``); 1 = run every cell inline.
+    jobs: int = 1
+    #: Directory of the persistent measurement cache (None = disabled;
+    #: CLI: ``--cache-dir`` / ``REPRO_CACHE_DIR``, ``--no-cache``).
+    cache_dir: Optional[str] = None
 
     @classmethod
     def quick(cls) -> "BenchSettings":

@@ -3,6 +3,14 @@
 Each module exposes ``run(settings: BenchSettings) -> str`` returning the
 harness's text report.  ``EXPERIMENTS`` maps the ids used by the CLI
 (``python -m repro.bench --experiment fig7``) to those callables.
+
+Drivers whose grid goes through ``common.cached_measure`` additionally
+expose ``cells(settings) -> List[MeasureCell]`` enumerating that grid
+without executing it; ``EXPERIMENT_CELLS`` maps their ids to those
+enumerators so the parallel runner (:mod:`repro.bench.parallel`) can
+pre-compute every measurement before the drivers format reports.
+Experiments absent from ``EXPERIMENT_CELLS`` (capability tables, CDF
+plots, non-grid extensions) run inline as before.
 """
 
 from repro.bench.experiments import (
@@ -47,4 +55,22 @@ EXPERIMENTS = {
     "ext3": ext_readwrite.run,
 }
 
-__all__ = ["EXPERIMENTS"]
+#: Grid enumerators for the parallel runner (subset of EXPERIMENTS).
+EXPERIMENT_CELLS = {
+    "fig7": fig7_pareto.cells,
+    "fig8": fig8_strings.cells,
+    "table2": table2_fastest.cells,
+    "fig9": fig9_scaling.cells,
+    "fig10": fig10_keysize.cells,
+    "fig11": fig11_search.cells,
+    "fig12": fig12_metrics.cells,
+    "sec4.3": sec43_regression.cells,
+    "fig13": fig13_compression.cells,
+    "fig14": fig14_cold_cache.cells,
+    "fig15": fig15_fences.cells,
+    "fig16": fig16_multithread.cells,
+    "fig17": fig17_build_times.cells,
+    "ext1": ext_learned_variants.cells,
+}
+
+__all__ = ["EXPERIMENTS", "EXPERIMENT_CELLS"]

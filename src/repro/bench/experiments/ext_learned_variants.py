@@ -8,13 +8,28 @@ tuned implementation) -- on the same Pareto axes as Figure 7.
 
 from __future__ import annotations
 
+from typing import List
+
+from repro.bench.cells import MeasureCell
 from repro.bench.config import BenchSettings
-from repro.bench.experiments.common import dataset_and_workload, sweep
+from repro.bench.experiments.common import (
+    dataset_and_workload,
+    sweep,
+    sweep_cells,
+)
 from repro.bench.report import format_table
 from repro.core.pareto import ParetoPoint, pareto_front
 
 INDEXES = ["RMI", "RMI3", "PGM", "FITing", "RS"]
 DATASETS = ["amzn", "osm"]
+
+
+def cells(settings: BenchSettings) -> List[MeasureCell]:
+    out: List[MeasureCell] = []
+    for ds_name in [d for d in DATASETS if d in settings.datasets] or DATASETS:
+        for index_name in settings.indexes or INDEXES:
+            out.extend(sweep_cells(ds_name, index_name, settings))
+    return out
 
 
 def run(settings: BenchSettings) -> str:

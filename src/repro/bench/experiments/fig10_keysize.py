@@ -8,11 +8,28 @@ covers twice the keys.
 
 from __future__ import annotations
 
+from typing import List
+
+from repro.bench.cells import MeasureCell
 from repro.bench.config import BenchSettings
-from repro.bench.experiments.common import dataset_and_workload, sweep
+from repro.bench.experiments.common import (
+    dataset_and_workload,
+    sweep,
+    sweep_cells,
+)
 from repro.bench.report import format_table
 
 INDEXES = ["RMI", "RS", "PGM", "BTree", "FAST"]
+
+
+def cells(settings: BenchSettings) -> List[MeasureCell]:
+    out: List[MeasureCell] = []
+    for index_name in settings.indexes or INDEXES:
+        for bits in (64, 32):
+            out.extend(
+                sweep_cells("amzn", index_name, settings, key_bits=bits)
+            )
+    return out
 
 
 def run(settings: BenchSettings) -> str:

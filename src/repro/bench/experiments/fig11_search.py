@@ -7,13 +7,31 @@ the ablation bench for the last-mile design choice (DESIGN.md Section 5).
 
 from __future__ import annotations
 
+from typing import List
+
+from repro.bench.cells import MeasureCell
 from repro.bench.config import BenchSettings
-from repro.bench.experiments.common import dataset_and_workload, sweep
+from repro.bench.experiments.common import (
+    dataset_and_workload,
+    sweep,
+    sweep_cells,
+)
 from repro.bench.report import format_table
 from repro.search.last_mile import SEARCH_FUNCTIONS
 
 INDEXES = ["RMI", "PGM", "RS"]
 DATASETS = ["amzn", "osm"]
+
+
+def cells(settings: BenchSettings) -> List[MeasureCell]:
+    out: List[MeasureCell] = []
+    for ds_name in [d for d in DATASETS if d in settings.datasets] or DATASETS:
+        for index_name in settings.indexes or INDEXES:
+            for search in SEARCH_FUNCTIONS:
+                out.extend(
+                    sweep_cells(ds_name, index_name, settings, search=search)
+                )
+    return out
 
 
 def run(settings: BenchSettings) -> str:

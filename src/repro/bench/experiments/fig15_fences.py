@@ -9,11 +9,25 @@ instruction-count-dependent overlap factor.
 
 from __future__ import annotations
 
+from typing import List
+
+from repro.bench.cells import MeasureCell
 from repro.bench.config import BenchSettings
-from repro.bench.experiments.common import dataset_and_workload, sweep
+from repro.bench.experiments.common import (
+    dataset_and_workload,
+    sweep,
+    sweep_cells,
+)
 from repro.bench.report import format_table
 
 INDEXES = ["RMI", "RS", "PGM", "BTree", "FAST"]
+
+
+def cells(settings: BenchSettings) -> List[MeasureCell]:
+    out: List[MeasureCell] = []
+    for index_name in settings.indexes or INDEXES:
+        out.extend(sweep_cells("amzn", index_name, settings))
+    return out
 
 
 def run(settings: BenchSettings) -> str:

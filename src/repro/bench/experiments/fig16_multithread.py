@@ -10,12 +10,15 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.bench.cells import MeasureCell
 from repro.bench.config import BenchSettings
 from repro.bench.experiments.common import (
     cached_measure,
+    cell_for,
     closest_to_size,
     dataset_and_workload,
     sweep,
+    sweep_cells,
 )
 from repro.bench.harness import Measurement
 from repro.bench.multithread import MachineModel, throughput
@@ -25,6 +28,14 @@ INDEXES = ["RMI", "PGM", "RS", "RBS", "ART", "BTree", "IBTree", "FAST"]
 THREADS = [1, 2, 4, 8, 16, 20, 24, 32, 40]
 #: Paper: 50 MB over 200M keys.
 BYTES_PER_KEY = 50 * 1024 * 1024 / 200_000_000
+
+
+def cells(settings: BenchSettings) -> List[MeasureCell]:
+    out: List[MeasureCell] = []
+    for index_name in settings.indexes or INDEXES:
+        out.extend(sweep_cells("amzn", index_name, settings))
+    out.append(cell_for("amzn", "RobinHash", {}, settings))
+    return out
 
 
 def pinned_measurements(settings: BenchSettings) -> Dict[str, Measurement]:

@@ -12,11 +12,15 @@ from __future__ import annotations
 
 
 
+from typing import List
+
+from repro.bench.cells import MeasureCell
 from repro.bench.config import BenchSettings
 from repro.bench.experiments.common import (
     dataset_and_workload,
     fastest,
     sweep,
+    sweep_cells,
 )
 from repro.bench.harness import build_index
 from repro.bench.report import format_table
@@ -36,6 +40,15 @@ INDEXES = [
     "RobinHash",
 ]
 SCALES = (1, 2, 3, 4)
+
+
+def cells(settings: BenchSettings) -> List[MeasureCell]:
+    """Only the config-picking sweeps are cellable; the scaled builds
+    themselves are wall-clock measurements, not simulated cells."""
+    out: List[MeasureCell] = []
+    for index_name in settings.indexes or INDEXES:
+        out.extend(sweep_cells("amzn", index_name, settings))
+    return out
 
 
 def run(settings: BenchSettings) -> str:

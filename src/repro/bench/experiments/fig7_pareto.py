@@ -11,16 +11,30 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.bench.cells import MeasureCell
 from repro.bench.config import BenchSettings
 from repro.bench.experiments.common import (
     FIG7_INDEXES,
     cached_measure,
+    cell_for,
     dataset_and_workload,
     sweep,
+    sweep_cells,
 )
 from repro.bench.harness import Measurement
 from repro.bench.report import format_table
 from repro.core.pareto import ParetoPoint, pareto_front
+
+
+def cells(settings: BenchSettings) -> List[MeasureCell]:
+    """The measurement grid of this figure, for the parallel runner."""
+    out: List[MeasureCell] = []
+    indexes = settings.indexes or FIG7_INDEXES
+    for ds_name in settings.datasets:
+        for index_name in indexes:
+            out.extend(sweep_cells(ds_name, index_name, settings))
+        out.append(cell_for(ds_name, "BS", {}, settings))
+    return out
 
 
 def collect(settings: BenchSettings) -> Dict[str, List[Measurement]]:

@@ -8,16 +8,30 @@ even binary search.
 
 from __future__ import annotations
 
+from typing import List
+
+from repro.bench.cells import MeasureCell
 from repro.bench.config import BenchSettings
 from repro.bench.experiments.common import (
     cached_measure,
+    cell_for,
     dataset_and_workload,
     sweep,
+    sweep_cells,
 )
 from repro.bench.report import format_table
 
 INDEXES = ["RMI", "BTree", "FST", "Wormhole"]
 DATASETS = ["amzn", "face"]
+
+
+def cells(settings: BenchSettings) -> List[MeasureCell]:
+    out: List[MeasureCell] = []
+    for ds_name in [d for d in DATASETS if d in settings.datasets] or DATASETS:
+        out.append(cell_for(ds_name, "BS", {}, settings))
+        for index_name in INDEXES:
+            out.extend(sweep_cells(ds_name, index_name, settings))
+    return out
 
 
 def run(settings: BenchSettings) -> str:

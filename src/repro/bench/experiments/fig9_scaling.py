@@ -8,13 +8,28 @@ doubling).  We scale the synthetic amzn by the same 1x..4x factors.
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import List
 
+from repro.bench.cells import MeasureCell
 from repro.bench.config import BenchSettings
-from repro.bench.experiments.common import dataset_and_workload, sweep
+from repro.bench.experiments.common import (
+    dataset_and_workload,
+    sweep,
+    sweep_cells,
+)
 from repro.bench.report import format_table
 
 INDEXES = ["RMI", "PGM", "RS", "BTree"]
 SCALES = (1, 2, 3, 4)
+
+
+def cells(settings: BenchSettings) -> List[MeasureCell]:
+    out: List[MeasureCell] = []
+    for index_name in settings.indexes or INDEXES:
+        for scale in SCALES:
+            scaled = replace(settings, n_keys=settings.n_keys * scale)
+            out.extend(sweep_cells("amzn", index_name, scaled))
+    return out
 
 
 def run(settings: BenchSettings) -> str:

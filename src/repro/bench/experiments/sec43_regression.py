@@ -11,15 +11,25 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.bench.cells import MeasureCell
 from repro.bench.config import BenchSettings
 from repro.bench.experiments.common import (
     FIG7_INDEXES,
     dataset_and_workload,
     sweep,
+    sweep_cells,
 )
 from repro.bench.harness import Measurement
 from repro.bench.report import format_table
 from repro.bench.stats import RegressionResult, ols
+
+
+def cells(settings: BenchSettings) -> List[MeasureCell]:
+    out: List[MeasureCell] = []
+    for ds_name in settings.datasets:
+        for index_name in settings.indexes or FIG7_INDEXES:
+            out.extend(sweep_cells(ds_name, index_name, settings))
+    return out
 
 
 def collect(settings: BenchSettings) -> List[Measurement]:

@@ -7,17 +7,32 @@ dataset: hashes win on latency at a large memory cost.
 
 from __future__ import annotations
 
+from typing import List
+
+from repro.bench.cells import MeasureCell
 from repro.bench.config import BenchSettings
 from repro.bench.experiments.common import (
     cached_measure,
+    cell_for,
     dataset_and_workload,
     fastest,
     sweep,
+    sweep_cells,
 )
 from repro.bench.report import format_table
 
 SWEPT = ["PGM", "RS", "RMI", "BTree", "IBTree", "FAST"]
 HASHES = ["CuckooMap", "RobinHash"]
+
+
+def cells(settings: BenchSettings) -> List[MeasureCell]:
+    out: List[MeasureCell] = []
+    for index_name in SWEPT:
+        out.extend(sweep_cells("amzn", index_name, settings, key_bits=32))
+    out.append(cell_for("amzn", "BS", {}, settings, key_bits=32))
+    for index_name in HASHES:
+        out.append(cell_for("amzn", index_name, {}, settings, key_bits=32))
+    return out
 
 
 def run(settings: BenchSettings) -> str:

@@ -43,3 +43,28 @@ def format_series(title: str, pairs: Iterable[Sequence]) -> str:
 
 def bullet_list(items: Iterable[str]) -> str:
     return "\n".join(f"  * {item}" for item in items)
+
+
+def format_runner_stats(stats) -> str:
+    """Cache hit/miss and per-cell wall-clock summary of a runner pass.
+
+    ``stats`` is a :class:`repro.bench.parallel.RunnerStats`.
+    """
+    lines = [
+        f"runner: {stats.total_cells} cells "
+        f"({stats.unique_cells} unique), jobs={stats.jobs}, "
+        f"{stats.wall_seconds:.1f}s wall",
+        f"  memo hits {stats.memo_hits}, cache hits {stats.cache_hits}, "
+        f"executed {stats.executed}",
+    ]
+    if stats.cell_seconds:
+        seconds = [s for _, s in stats.cell_seconds]
+        slowest_label, slowest = max(
+            stats.cell_seconds, key=lambda pair: pair[1]
+        )
+        lines.append(
+            f"  cell wall-clock: total {stats.executed_seconds:.1f}s, "
+            f"mean {sum(seconds) / len(seconds):.2f}s, "
+            f"max {slowest:.2f}s ({slowest_label})"
+        )
+    return "\n".join(lines)

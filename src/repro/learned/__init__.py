@@ -4,7 +4,7 @@ plus extensions (three-stage RMI, FITing-Tree, dynamic PGM, ALEX)."""
 from repro.learned.rmi import RMIIndex
 from repro.learned.rmi3 import RMI3Index
 from repro.learned.pgm import PGMIndex
-from repro.learned.fiting_tree import FITingTreeIndex
+from repro.learned.fitting_tree import FITingTreeIndex
 from repro.learned.dynamic_pgm import DynamicPGM
 from repro.learned.alex import AlexIndex
 from repro.learned.radix_spline import RadixSplineIndex

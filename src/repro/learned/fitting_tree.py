@@ -1,0 +1,148 @@
+"""FITing-Tree (Galakatos et al., SIGMOD'19) -- extension.
+
+The paper cites FITing-Tree as prior work it could not benchmark ("tuned
+implementations could not be made publicly available", Section 3) and
+describes RS's spline fitting as "similar to the shrinking cone algorithm
+of FITing-Tree".  Structurally, a FITing-Tree is the shrinking-cone
+error-bounded segmentation (exactly :func:`repro.learned.pla.fit_pla`)
+with a *B-tree* over the segment boundary keys instead of PGM's recursive
+regressions -- so its lookup profile sits between BTree (tree descent)
+and PGM (linear prediction + epsilon bound).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+
+from repro.core.bounds import SearchBound
+from repro.core.interface import Capabilities, SortedDataIndex
+from repro.core.registry import register_index
+from repro.learned.pgm import _REC, _segments_to_arrays
+
+from repro.memsim.memory import AddressSpace, TracedArray
+from repro.memsim.tracer import NULL_TRACER, Tracer
+
+_NODE_SEARCH_STEP_INSTR = 5
+_DESCEND_INSTR = 3
+_PRED_INSTR = 6
+
+
+@register_index
+class FITingTreeIndex(SortedDataIndex):
+    """Shrinking-cone segments indexed by an implicit B-tree.
+
+    Parameters
+    ----------
+    epsilon:
+        Error bound of each segment's linear model.
+    fanout:
+        Keys per B-tree node over the segment boundaries.
+    """
+
+    name = "FITing"
+    capabilities = Capabilities(updates=True, ordered=True, kind="Learned")
+
+    def __init__(self, epsilon: int = 64, fanout: int = 16):
+        super().__init__()
+        if epsilon < 1:
+            raise ValueError("epsilon must be >= 1")
+        if fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        self.epsilon = int(epsilon)
+        self.fanout = int(fanout)
+        self._seg_keys: TracedArray = None
+        self._seg_params: TracedArray = None
+        self._levels: List[TracedArray] = []
+
+    # -- construction -----------------------------------------------------
+
+    def _build(self, data: TracedArray, space: AddressSpace) -> None:
+        from repro.learned.fitting_fast import fit_pla_fast
+
+        segments = fit_pla_fast(data.values, float(self.epsilon))
+        keys, params = _segments_to_arrays(segments)
+        self._seg_keys = self._register(
+            TracedArray.allocate(space, keys, name="fitting.seg_keys")
+        )
+        self._seg_params = self._register(
+            TracedArray.allocate(space, params, name="fitting.seg_params")
+        )
+        # Implicit B-tree levels over the segment first-keys.
+        levels = [keys]
+        while len(levels[-1]) > self.fanout:
+            levels.append(levels[-1][:: self.fanout])
+        # Leaf level is the segment key array itself (already registered).
+        self._levels = [self._seg_keys] + [
+            self._register(
+                TracedArray.allocate(space, arr, name=f"fitting.level{d}")
+            )
+            for d, arr in enumerate(levels[1:], start=1)
+        ]
+
+    # -- lookup ------------------------------------------------------------
+
+    def _node_predecessor(
+        self, level: TracedArray, lo: int, hi: int, key: int, tracer: Tracer
+    ) -> int:
+        left, right = lo, hi
+        while left < right:
+            mid = (left + right) // 2
+            tracer.instr(_NODE_SEARCH_STEP_INSTR)
+            goes_right = level.get(mid, tracer) <= key
+            tracer.branch("fitting.node", goes_right)
+            if goes_right:
+                left = mid + 1
+            else:
+                right = mid
+        return left - 1
+
+    def lookup(self, key: int, tracer: Tracer = NULL_TRACER) -> SearchBound:
+        key = int(key)
+        n = self.n_keys
+        levels = self._levels
+        root = levels[-1]
+        pos = self._node_predecessor(root, 0, len(root), key, tracer)
+        if pos < 0:
+            pos = 0  # key below the first segment: segment 0 handles it
+        for depth in range(len(levels) - 2, -1, -1):
+            level = levels[depth]
+            tracer.instr(_DESCEND_INSTR)
+            lo = pos * self.fanout
+            hi = min(lo + self.fanout, len(level))
+            pos = max(self._node_predecessor(level, lo, hi, key, tracer), 0)
+
+        first_key = self._seg_keys.get(pos, tracer)
+        slope, intercept, last_pos_plus1 = self._seg_params.get_block(
+            pos * _REC, _REC, tracer
+        )
+        tracer.instr(_PRED_INSTR)
+        pred = intercept + slope * float(key - first_key)
+        if pred < intercept:
+            pred = intercept
+        elif pred > last_pos_plus1:
+            pred = last_pos_plus1
+        lo_b = max(int(pred) - self.epsilon - 1, 0)
+        hi_b = min(int(pred) + self.epsilon + 2, n + 1)
+        if hi_b <= lo_b:
+            hi_b = lo_b + 1
+        return SearchBound(lo_b, hi_b)
+
+    # -- diagnostics ---------------------------------------------------------
+
+    @property
+    def n_segments(self) -> int:
+        return len(self._seg_keys)
+
+    def mean_log2_error(self) -> float:
+        import math
+
+        return math.log2(2.0 * self.epsilon + 2.0)
+
+    @classmethod
+    def size_sweep_configs(cls, n_keys: int) -> List[dict]:
+        eps_values = [2048, 1024, 512, 256, 128, 64, 32, 16, 8, 4]
+        return [
+            {"epsilon": e} for e in eps_values if e < max(n_keys // 4, 8)
+        ]

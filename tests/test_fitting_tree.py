@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.validation import validate_index
-from repro.learned.fiting_tree import FITingTreeIndex
+from repro.learned.fitting_tree import FITingTreeIndex
 from repro.memsim import PerfTracer
 
 from conftest import build
@@ -79,3 +79,19 @@ class TestFITingStructure:
             for cfg in FITingTreeIndex.size_sweep_configs(amzn_small.n)
         ]
         assert sizes == sorted(sizes)
+
+
+class TestDeprecatedModuleAlias:
+    def test_old_misspelled_import_still_works(self):
+        import importlib
+        import warnings
+
+        import repro.learned.fiting_tree as shim_preload  # noqa: F401
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shim = importlib.reload(shim_preload)
+        assert shim.FITingTreeIndex is FITingTreeIndex
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )

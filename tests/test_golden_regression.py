@@ -1,0 +1,96 @@
+"""Golden regression: the measurement pipeline must not silently drift.
+
+``tests/data/golden_measurements.json`` holds counters recorded by the
+pre-refactor harness (``common.dataset_and_workload`` +
+``cached_measure``) at a tiny scale, for (index, dataset, config) cells
+that also appear -- at the paper's full scale -- in ``results_full.json``.
+A fresh run today, serial or parallel, must reproduce those counters
+exactly; any mismatch means the refactor changed measurement behavior,
+not just its plumbing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench.cells import MeasureCell, freeze_config
+from repro.bench.parallel import run_cells
+
+HERE = os.path.dirname(__file__)
+GOLDEN_PATH = os.path.join(HERE, "data", "golden_measurements.json")
+RESULTS_FULL_PATH = os.path.join(HERE, "..", "results_full.json")
+
+with open(GOLDEN_PATH) as f:
+    GOLDEN = json.load(f)
+
+
+def cell_of(record: dict) -> MeasureCell:
+    return MeasureCell(
+        dataset=record["dataset"],
+        n_keys=record["n_keys"],
+        seed=record["seed"],
+        key_bits=record["key_bits"],
+        index=record["index"],
+        config=freeze_config(record["config"]),
+        n_lookups=record["n_lookups"],
+        warmup=record["warmup"],
+        warm=record["warm"],
+        search=record["search"],
+    )
+
+
+def assert_matches_golden(measurement, record: dict) -> None:
+    assert measurement.index == record["index"]
+    assert measurement.size_bytes == record["size_bytes"]
+    assert measurement.latency_ns == record["latency_ns"]
+    assert measurement.fence_latency_ns == record["fence_latency_ns"]
+    assert measurement.avg_log2_bound == record["avg_log2_bound"]
+    for name, value in record["counters"].items():
+        assert getattr(measurement.counters, name) == value, name
+
+
+class TestGoldenCells:
+    @pytest.mark.parametrize(
+        "record",
+        GOLDEN,
+        ids=[
+            f"{r['index']}-{r['dataset']}-{r['key_bits']}bit" for r in GOLDEN
+        ],
+    )
+    def test_serial_run_matches_recorded_counters(self, record):
+        assert_matches_golden(cell_of(record).run(), record)
+
+    def test_parallel_run_matches_recorded_counters(self):
+        cells = [cell_of(r) for r in GOLDEN]
+        measurements, stats = run_cells(cells, jobs=2, memo={})
+        assert stats.executed == len(GOLDEN)
+        for measurement, record in zip(measurements, GOLDEN):
+            assert_matches_golden(measurement, record)
+
+
+class TestGoldenProvenance:
+    """The golden cells are scaled-down versions of full-run cells."""
+
+    def test_64bit_cells_appear_in_results_full(self):
+        with open(RESULTS_FULL_PATH) as f:
+            full = json.load(f)
+        full_combos = {
+            (r["index"], r["dataset"], r["config"]) for r in full
+        }
+        for record in GOLDEN:
+            if record["key_bits"] != 64:
+                continue  # full records do not carry key_bits
+            combo = (
+                record["index"],
+                record["dataset"],
+                json.dumps(record["config"], sort_keys=True),
+            )
+            assert combo in full_combos, combo
+
+    def test_golden_covers_a_handful_of_heterogeneous_cells(self):
+        assert len(GOLDEN) >= 5
+        assert {r["index"] for r in GOLDEN} >= {"RMI", "PGM", "BTree", "BS"}
+        assert {r["dataset"] for r in GOLDEN} >= {"amzn", "osm"}
