@@ -1,0 +1,67 @@
+"""ext_serving companion: wall-clock speed of the serving subsystem.
+
+Besides the usual pytest-benchmark timings, this module distils the two
+headline rates into ``BENCH_serving.json`` — ``cells_per_sec`` (full
+ext_serving measurement cells, end to end) and ``sim_events_per_sec``
+(discrete events through the event loop: one arrival + one finish per
+request, plus steals) — so CI can track a perf trajectory for the
+serving subsystem.  Set ``BENCH_SERVING_JSON`` to redirect the output
+path (defaults to the repo root).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench.experiments import ext_serving
+from repro.bench.harness import measure_index
+from repro.serve import (
+    ServiceModel,
+    poisson_arrivals,
+    simulate_open_loop,
+    throughput,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Filled by the benchmarks below, written out once the module finishes.
+_RATES = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_serving_json():
+    yield
+    if not _RATES:  # e.g. --benchmark-disable: no stats to record
+        return
+    path = os.environ.get("BENCH_SERVING_JSON") or os.path.join(
+        REPO_ROOT, "BENCH_serving.json"
+    )
+    with open(path, "w") as f:
+        json.dump(_RATES, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def test_open_loop_simulator(benchmark, amzn, workload):
+    """Event-loop throughput at 70% load on 4 simulated cores."""
+    m = measure_index(amzn, workload, "RMI", {"branching": 512}, n_lookups=150)
+    service = ServiceModel(m.counters)
+    rate = 0.7 * throughput(m, 4).lookups_per_sec
+    arrivals = poisson_arrivals(rate, 5_000, seed=0)
+    result = benchmark(simulate_open_loop, service, arrivals, n_cores=4)
+    assert len(result.requests) == 5_000
+    if benchmark.stats is not None:
+        events = 2 * len(result.requests) + result.total_steals
+        _RATES["sim_events_per_sec"] = events / benchmark.stats.stats.mean
+
+
+def test_serving_measurement_cell(benchmark, settings):
+    """One ext_serving grid cell, end to end (dataset prebuilt)."""
+    cell = ext_serving.cells(settings)[0]
+    dataset, workload = cell.materialize()
+    m = benchmark(cell.run, dataset, workload)
+    assert m.latency_ns > 0
+    if benchmark.stats is not None:
+        _RATES["cells_per_sec"] = 1.0 / benchmark.stats.stats.mean

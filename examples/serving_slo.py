@@ -1,0 +1,86 @@
+"""Serving under an SLO: which index should serve this traffic?
+
+Mean lookup latency says which index is fastest in a tight loop; a
+server cares about the tail under a real arrival process.  This example
+measures a few index configurations, simulates Poisson traffic against a
+modelled 4-core server (repro.serve), and picks the cheapest index whose
+simulated p99 meets the SLO.
+
+Run:  python examples/serving_slo.py
+"""
+
+from repro import make_dataset, make_workload
+from repro.bench import measure_index
+from repro.serve import (
+    MachineModel,
+    select_under_slo,
+    throughput,
+)
+
+N_CORES = 4
+
+
+def main() -> None:
+    dataset = make_dataset("amzn", 50_000, seed=0)
+    workload = make_workload(dataset, 600, seed=1)
+
+    # Candidates: a few configurations per index, measured on the
+    # simulated CPU exactly like the paper's figures.
+    candidates = []
+    for index_name, configs in (
+        ("RMI", [{"branching": 256}, {"branching": 4096}]),
+        ("PGM", [{"epsilon": 8}, {"epsilon": 128}]),
+        ("BTree", [{"gap": 2}, {"gap": 64}]),
+    ):
+        for config in configs:
+            m = measure_index(
+                dataset, workload, index_name, config, n_lookups=300
+            )
+            candidates.append(m)
+            print(
+                f"measured {m.index:6s} {str(config):22s} "
+                f"{m.latency_ns:6.0f} ns  {m.size_mb:8.4f} MB"
+            )
+
+    # Offer 60% of the fastest candidate's modelled 4-core capacity, and
+    # require p99 within 3x the best uncontended latency.
+    machine = MachineModel()
+    capacity = max(
+        throughput(m, N_CORES, machine=machine).lookups_per_sec
+        for m in candidates
+    )
+    offered = 0.6 * capacity
+    slo_ns = 3.0 * min(m.latency_ns for m in candidates)
+    print(
+        f"\noffered load {offered / 1e6:.1f} M lookups/s on {N_CORES} "
+        f"cores, SLO: p99 <= {slo_ns:.0f} ns"
+    )
+
+    selection = select_under_slo(
+        candidates,
+        offered_per_sec=offered,
+        p99_slo_ns=slo_ns,
+        n_requests=1_500,
+        seed=0,
+        n_cores=N_CORES,
+        machine=machine,
+    )
+    print("\nindex   config                     p99      meets")
+    for c in selection.candidates:
+        meets = "yes" if c.summary.p99_ns <= slo_ns else "no"
+        print(
+            f"{c.index:6s}  {str(c.config):22s}  "
+            f"{c.summary.p99_ns:7.0f} ns  {meets}"
+        )
+
+    chosen = selection.chosen
+    assert chosen is not None, "no candidate met the SLO"
+    print(
+        f"\nchosen: {chosen.index} {chosen.config} -- cheapest at "
+        f"{chosen.size_mb:.4f} MB with p99 "
+        f"{chosen.summary.p99_ns:.0f} ns <= {slo_ns:.0f} ns"
+    )
+
+
+if __name__ == "__main__":
+    main()

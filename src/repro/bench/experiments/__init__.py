@@ -16,6 +16,7 @@ plots, non-grid extensions) run inline as before.
 from repro.bench.experiments import (
     ext_learned_variants,
     ext_readwrite,
+    ext_serving,
     ext_skew,
     fig6_cdfs,
     fig7_pareto,
@@ -53,6 +54,7 @@ EXPERIMENTS = {
     "ext1": ext_learned_variants.run,
     "ext2": ext_skew.run,
     "ext3": ext_readwrite.run,
+    "ext_serving": ext_serving.run,
 }
 
 #: Grid enumerators for the parallel runner (subset of EXPERIMENTS).
@@ -71,6 +73,7 @@ EXPERIMENT_CELLS = {
     "fig16": fig16_multithread.cells,
     "fig17": fig17_build_times.cells,
     "ext1": ext_learned_variants.cells,
+    "ext_serving": ext_serving.cells,
 }
 
 __all__ = ["EXPERIMENTS", "EXPERIMENT_CELLS"]

@@ -3,7 +3,7 @@
 Configurations are pinned to the paper's setup: models sized near the
 scaled equivalent of 50 MB on 200M keys (0.25 bytes/key), RobinHash at
 full size, threads swept 1..40 with and without fences.  Throughput comes
-from the counter-driven machine model (see repro.bench.multithread).
+from the counter-driven machine model (see repro.serve.contention).
 """
 
 from __future__ import annotations
@@ -21,8 +21,8 @@ from repro.bench.experiments.common import (
     sweep_cells,
 )
 from repro.bench.harness import Measurement
-from repro.bench.multithread import MachineModel, throughput
 from repro.bench.report import format_table
+from repro.serve.contention import MachineModel, throughput
 
 INDEXES = ["RMI", "PGM", "RS", "RBS", "ART", "BTree", "IBTree", "FAST"]
 THREADS = [1, 2, 4, 8, 16, 20, 24, 32, 40]

@@ -1,101 +1,32 @@
 """Multithreaded throughput model (paper Section 4.5, Figure 16).
 
-Real Python threads would measure the interpreter's GIL, not the index, so
-throughput is *modelled* from the measured per-lookup counters -- which is
-also the mechanism the paper itself uses to explain its results ("if an
-index structure incurs more cache misses per second, the benefits of
-multithreading will be diminished, since threads will be latency bound
-waiting for access to RAM").
-
-Model:
-
-* ``eff(T)``: physical cores scale linearly; hyperthreads beyond the core
-  count contribute a fraction ``ht_gain`` each (Xeon Gold 6230: 20 cores /
-  40 threads).
-* Memory contention: each lookup moves ``llc_misses`` cache lines through
-  DRAM.  Under load the effective memory latency inflates linearly with
-  consumed bandwidth, giving the self-consistent throughput equation
-  ``thr = eff(T) / (lat + m^2 * D * line / BW * thr)`` -- a quadratic with
-  one positive root.  High-miss structures (RobinHash) therefore
-  self-throttle, low-miss ones (FAST, PGM) scale nearly linearly.
+The machine and memory-contention model now lives in
+:mod:`repro.serve.contention`, where the serving simulator shares it;
+this module re-exports the original names so existing imports keep
+working.  See the serve module for the model's documentation -- the math
+is unchanged: cores scale linearly (hyperthreads at ``ht_gain`` each) and
+throughput solves the self-consistent bandwidth quadratic
+``thr = eff(T) / (lat + m^2 * D * line / BW * thr)``.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import List
+from repro.serve.contention import (
+    MachineModel,
+    ThroughputPoint,
+    bandwidth_coefficient,
+    saturation_throughput,
+    service_time_ns,
+    thread_sweep,
+    throughput,
+)
 
-from repro.bench.harness import Measurement
-from repro.memsim.cache import LINE_SIZE
-from repro.memsim.costmodel import XEON_GOLD_6230, CostModel
-
-
-@dataclass(frozen=True)
-class MachineModel:
-    """Core/memory parameters of the modelled machine."""
-
-    cores: int = 20
-    threads: int = 40
-    ht_gain: float = 0.6
-    dram_bandwidth_bytes: float = 8.0e10  # ~80 GB/s, 6-channel DDR4-2933
-
-    def effective_parallelism(self, n_threads: int) -> float:
-        if n_threads <= self.cores:
-            return float(n_threads)
-        extra = min(n_threads, self.threads) - self.cores
-        return self.cores + extra * self.ht_gain
-
-
-@dataclass
-class ThroughputPoint:
-    index: str
-    threads: int
-    fence: bool
-    lookups_per_sec: float
-    cache_misses_per_sec: float
-    speedup: float
-
-
-def throughput(
-    measurement: Measurement,
-    n_threads: int,
-    fence: bool = False,
-    machine: MachineModel = MachineModel(),
-    cost_model: CostModel = XEON_GOLD_6230,
-) -> ThroughputPoint:
-    """Modelled lookups/second at ``n_threads`` concurrent threads."""
-    c = measurement.counters
-    lat_s = cost_model.latency_ns(c, fence=fence) * 1e-9
-    eff = machine.effective_parallelism(n_threads)
-    m = max(c.llc_misses, 0.0)
-    # Quadratic: b*thr^2 + lat*thr - eff = 0.
-    b = (m * m) * (cost_model.dram_ns * 1e-9) * LINE_SIZE / (
-        machine.dram_bandwidth_bytes
-    )
-    if b <= 0.0:
-        thr = eff / lat_s
-    else:
-        thr = (-lat_s + math.sqrt(lat_s * lat_s + 4.0 * b * eff)) / (2.0 * b)
-    single = 1.0 / lat_s
-    return ThroughputPoint(
-        index=measurement.index,
-        threads=n_threads,
-        fence=fence,
-        lookups_per_sec=thr,
-        cache_misses_per_sec=thr * m,
-        speedup=thr / single,
-    )
-
-
-def thread_sweep(
-    measurement: Measurement,
-    thread_counts: List[int],
-    fence: bool = False,
-    machine: MachineModel = MachineModel(),
-    cost_model: CostModel = XEON_GOLD_6230,
-) -> List[ThroughputPoint]:
-    return [
-        throughput(measurement, t, fence, machine, cost_model)
-        for t in thread_counts
-    ]
+__all__ = [
+    "MachineModel",
+    "ThroughputPoint",
+    "bandwidth_coefficient",
+    "saturation_throughput",
+    "service_time_ns",
+    "thread_sweep",
+    "throughput",
+]

@@ -22,6 +22,8 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
 
 
 def _fmt(cell) -> str:
+    if cell is None:
+        return "-"
     if isinstance(cell, float):
         if cell == 0:
             return "0"

@@ -1,18 +1,87 @@
-"""Ordinary least squares with the statistics the paper reports (Sec 4.3).
+"""Statistics for the benchmark: OLS (Sec 4.3) and latency percentiles.
 
 The paper regresses lookup time on cache misses, branch misses and
 instruction count across all indexes and datasets, reporting R^2,
 standardized coefficients and significance.  This module implements OLS
 with t-statistics / p-values from first principles (numpy + scipy.stats),
 so the same analysis runs on our measured counters.
+
+It also provides the exact-interpolation percentile helpers the serving
+simulator's tail-latency accounting uses (p50/p95/p99/p99.9): the
+``inclusive`` linear-interpolation definition, identical to
+``statistics.quantiles(..., method="inclusive")`` and numpy's default,
+implemented here so percentiles of a latency trace are a deterministic
+pure-Python function of the sorted values.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 import numpy as np
+
+#: The tail percentiles the serving reports quote, in report order.
+TAIL_PERCENTILES = (50.0, 95.0, 99.0, 99.9)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Exact linear-interpolation percentile (``q`` in [0, 100]).
+
+    Matches ``statistics.quantiles(values, n=N, method="inclusive")`` at
+    the cut points ``q = 100 * i / N`` and numpy's default
+    ``np.percentile``: rank ``q/100 * (n-1)`` interpolated between the
+    two bracketing order statistics.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    xs = sorted(float(v) for v in values)
+    if not xs:
+        raise ValueError("percentile of empty sequence")
+    if len(xs) == 1:
+        return xs[0]
+    rank = (q / 100.0) * (len(xs) - 1)
+    lo = math.floor(rank)
+    hi = min(lo + 1, len(xs) - 1)
+    return xs[lo] + (xs[hi] - xs[lo]) * (rank - lo)
+
+
+def percentiles(
+    values: Sequence[float], qs: Sequence[float] = TAIL_PERCENTILES
+) -> Dict[float, float]:
+    """Several percentiles of one sample, sorting it only once."""
+    xs = sorted(float(v) for v in values)
+    if not xs:
+        raise ValueError("percentiles of empty sequence")
+    out: Dict[float, float] = {}
+    for q in qs:
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if len(xs) == 1:
+            out[q] = xs[0]
+            continue
+        rank = (q / 100.0) * (len(xs) - 1)
+        lo = math.floor(rank)
+        hi = min(lo + 1, len(xs) - 1)
+        out[q] = xs[lo] + (xs[hi] - xs[lo]) * (rank - lo)
+    return out
+
+
+def p50(values: Sequence[float]) -> float:
+    return percentile(values, 50.0)
+
+
+def p95(values: Sequence[float]) -> float:
+    return percentile(values, 95.0)
+
+
+def p99(values: Sequence[float]) -> float:
+    return percentile(values, 99.0)
+
+
+def p999(values: Sequence[float]) -> float:
+    return percentile(values, 99.9)
 
 
 @dataclass

@@ -1,0 +1,72 @@
+"""`repro.serve`: discrete-event serving simulation with tail-latency SLOs.
+
+The benchmark's figures summarize lookups as steady-state means; this
+subsystem asks the serving question instead: given an arrival process and
+a modelled multi-core server, what latency distribution does each index
+deliver, and which index should serve a given load under a
+(p99, memory-budget) SLO?
+
+* :mod:`repro.serve.arrivals` -- seeded open-loop arrival processes
+  (Poisson, bursty) and closed-loop think times.
+* :mod:`repro.serve.contention` -- the machine + memory-contention model
+  (shared with Figure 16, which is now a thin client of it).
+* :mod:`repro.serve.core` -- the event loop: per-core FIFO queues, work
+  stealing, contention-frozen service times.
+* :mod:`repro.serve.metrics` -- p50/p95/p99/p99.9 accounting.
+* :mod:`repro.serve.selector` -- SLO-aware index selection.
+
+Driven end-to-end by the ``ext_serving`` experiment
+(``python -m repro.bench --experiment ext_serving``).
+"""
+
+from repro.serve.arrivals import (
+    bursty_arrivals,
+    poisson_arrivals,
+    think_times_ns,
+)
+from repro.serve.contention import (
+    MachineModel,
+    ThroughputPoint,
+    saturation_throughput,
+    service_time_ns,
+    thread_sweep,
+    throughput,
+)
+from repro.serve.core import (
+    Request,
+    ServiceModel,
+    ServingResult,
+    simulate_closed_loop,
+    simulate_open_loop,
+)
+from repro.serve.metrics import LatencySummary, summarize, summarize_result
+from repro.serve.selector import (
+    Candidate,
+    Selection,
+    evaluate_candidate,
+    select_under_slo,
+)
+
+__all__ = [
+    "MachineModel",
+    "ThroughputPoint",
+    "throughput",
+    "thread_sweep",
+    "saturation_throughput",
+    "service_time_ns",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "think_times_ns",
+    "ServiceModel",
+    "Request",
+    "ServingResult",
+    "simulate_open_loop",
+    "simulate_closed_loop",
+    "LatencySummary",
+    "summarize",
+    "summarize_result",
+    "Candidate",
+    "Selection",
+    "evaluate_candidate",
+    "select_under_slo",
+]

@@ -1,0 +1,99 @@
+"""Seeded arrival processes for the serving simulator.
+
+Open-loop processes generate absolute arrival timestamps up front, so a
+run is a pure function of ``(process, seed)``: Poisson traffic is a
+scaled cumulative sum of unit-exponential gaps, and bursty traffic is an
+on/off modulated Poisson (high rate inside bursts, low rate between
+them).  The unit-exponential gap sequence depends only on ``(seed, n)``,
+never on the rate, so sweeping the offered load rescales one fixed gap
+sequence -- which makes FIFO waiting times (and hence every latency
+percentile) weakly increasing in the rate, the property `ext_serving`'s
+monotone throughput-latency curve rests on.
+
+Closed-loop arrivals depend on completions, so they are generated inside
+the event loop (see :class:`repro.serve.core.ClosedLoopSource`); this
+module only provides the think-time sampler.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def _unit_gaps(n: int, seed: int) -> np.ndarray:
+    """Unit-mean exponential gaps, a function of (seed, n) only."""
+    if n < 1:
+        raise ValueError(f"need at least one arrival, got {n}")
+    rng = np.random.default_rng(seed + 0x5E21)
+    return rng.exponential(1.0, size=n)
+
+
+def poisson_arrivals(rate_per_sec: float, n: int, seed: int) -> List[float]:
+    """``n`` Poisson arrival times (nanoseconds), rate ``rate_per_sec``.
+
+    The same seed at a higher rate yields the same gap sequence scaled
+    down, so every arrival moves earlier -- loads are comparable across a
+    rate sweep instead of being resampled.
+    """
+    if rate_per_sec <= 0.0:
+        raise ValueError(f"rate must be positive, got {rate_per_sec}")
+    mean_gap_ns = 1e9 / rate_per_sec
+    times = np.cumsum(_unit_gaps(n, seed)) * mean_gap_ns
+    return [float(t) for t in times]
+
+
+def bursty_arrivals(
+    rate_per_sec: float,
+    n: int,
+    seed: int,
+    burst_factor: float = 4.0,
+    burst_fraction: float = 0.2,
+    period_requests: int = 50,
+) -> List[float]:
+    """On/off modulated Poisson arrivals (nanoseconds) with mean ``rate``.
+
+    Time alternates between bursts (rate ``burst_factor`` times the
+    on/off-balanced base rate, ``burst_fraction`` of each period's
+    requests... measured in requests: the first
+    ``burst_fraction * period_requests`` arrivals of every period are
+    generated at the burst rate, the rest at the complementary low rate)
+    so that the long-run average rate stays ``rate_per_sec``.  The same
+    fixed unit-gap sequence is reused across rates, as for
+    :func:`poisson_arrivals`.
+    """
+    if rate_per_sec <= 0.0:
+        raise ValueError(f"rate must be positive, got {rate_per_sec}")
+    if burst_factor <= 1.0:
+        raise ValueError(f"burst_factor must exceed 1, got {burst_factor}")
+    if not 0.0 < burst_fraction < 1.0:
+        raise ValueError(
+            f"burst_fraction must be in (0, 1), got {burst_fraction}"
+        )
+    # Low rate chosen so the request-weighted harmonic mean of the two
+    # rates equals the requested mean rate.
+    hi = burst_factor * rate_per_sec
+    lo_share = 1.0 - burst_fraction / burst_factor
+    lo = (1.0 - burst_fraction) / lo_share * rate_per_sec
+    gaps = _unit_gaps(n, seed)
+    burst_len = max(1, int(round(burst_fraction * period_requests)))
+    times: List[float] = []
+    t = 0.0
+    for i in range(n):
+        in_burst = (i % period_requests) < burst_len
+        rate = hi if in_burst else lo
+        t += gaps[i] * 1e9 / rate
+        times.append(t)
+    return times
+
+
+def think_times_ns(
+    mean_think_ns: float, n: int, seed: int
+) -> List[float]:
+    """Exponential think times for closed-loop clients (nanoseconds)."""
+    if mean_think_ns < 0.0:
+        raise ValueError(f"mean think time must be >= 0, got {mean_think_ns}")
+    if mean_think_ns == 0.0:
+        return [0.0] * n
+    return [float(g * mean_think_ns) for g in _unit_gaps(n, seed + 1)]

@@ -1,0 +1,252 @@
+"""Discrete-event serving simulator: multi-core server, FIFO + stealing.
+
+The simulator replays an arrival process against a modelled server of
+``n_cores`` physical cores.  Each request is dispatched to the core with
+the shortest queue (ties to the lowest core id), cores serve their own
+FIFO queue, and an idle core steals the oldest waiting request from the
+longest queue.  A request's service time comes from the measured
+per-lookup counters through the contention model: it is frozen when
+service *starts*, using the number of cores busy at that instant
+(:func:`repro.serve.contention.service_time_ns`), so a fully loaded
+server reproduces Figure 16's steady-state throughput while a lightly
+loaded one serves at the uncontended latency.
+
+Everything is deterministic: events are totally ordered by
+``(time, sequence number)``, arrival processes are seeded
+(:mod:`repro.serve.arrivals`), and no wall clock is consulted -- the same
+inputs produce bit-identical latency traces in any process.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence
+
+from repro.memsim.costmodel import XEON_GOLD_6230, CostModel
+from repro.serve.arrivals import think_times_ns
+from repro.serve.contention import MachineModel, service_time_ns
+
+_ARRIVAL = 0
+_FINISH = 1
+
+
+class ServiceModel:
+    """Per-request service times for one index, contention included."""
+
+    def __init__(
+        self,
+        counters,
+        fence: bool = False,
+        machine: MachineModel = MachineModel(),
+        cost_model: CostModel = XEON_GOLD_6230,
+    ):
+        self.counters = counters
+        self.fence = fence
+        self.machine = machine
+        self.cost_model = cost_model
+        # Service time only depends on the busy-core count, so memoize
+        # the n_cores possible values.
+        self._cache: dict = {}
+
+    @classmethod
+    def from_measurement(cls, measurement, **kwargs) -> "ServiceModel":
+        return cls(measurement.counters, **kwargs)
+
+    def service_ns(self, busy_cores: int) -> float:
+        s = self._cache.get(busy_cores)
+        if s is None:
+            s = service_time_ns(
+                self.counters,
+                busy_cores,
+                fence=self.fence,
+                machine=self.machine,
+                cost_model=self.cost_model,
+            )
+            self._cache[busy_cores] = s
+        return s
+
+
+@dataclass
+class Request:
+    """One simulated lookup request."""
+
+    rid: int
+    arrival_ns: float
+    client: int = 0
+    start_ns: float = -1.0
+    finish_ns: float = -1.0
+    core: int = -1
+
+    @property
+    def latency_ns(self) -> float:
+        """Sojourn time: queueing wait plus service."""
+        return self.finish_ns - self.arrival_ns
+
+    @property
+    def wait_ns(self) -> float:
+        return self.start_ns - self.arrival_ns
+
+
+@dataclass
+class ServingResult:
+    """Completed requests of one simulation run, in request-id order."""
+
+    requests: List[Request]
+    n_cores: int
+    makespan_ns: float
+    total_steals: int
+
+    @property
+    def latencies_ns(self) -> List[float]:
+        return [r.latency_ns for r in self.requests]
+
+    @property
+    def throughput_per_sec(self) -> float:
+        if self.makespan_ns <= 0.0:
+            return 0.0
+        return len(self.requests) / (self.makespan_ns * 1e-9)
+
+
+@dataclass
+class _Core:
+    cid: int
+    queue: Deque[Request] = field(default_factory=deque)
+    current: Optional[Request] = None
+
+    @property
+    def backlog(self) -> int:
+        return len(self.queue) + (1 if self.current is not None else 0)
+
+
+class _EventLoop:
+    """Shared event-heap machinery for open- and closed-loop runs."""
+
+    def __init__(self, service: ServiceModel, n_cores: int):
+        if n_cores < 1:
+            raise ValueError(f"need at least one core, got {n_cores}")
+        self.service = service
+        self.cores = [_Core(cid) for cid in range(n_cores)]
+        self.heap: list = []
+        self.seq = 0
+        self.done: List[Request] = []
+        self.steals = 0
+        self.makespan = 0.0
+
+    def push(self, time_ns: float, kind: int, payload) -> None:
+        # (time, kind, seq) orders simultaneous events deterministically:
+        # arrivals before finishes at the same instant, then FIFO.
+        heapq.heappush(self.heap, (time_ns, kind, self.seq, payload))
+        self.seq += 1
+
+    def dispatch(self, req: Request, now: float) -> None:
+        core = min(self.cores, key=lambda c: (c.backlog, c.cid))
+        core.queue.append(req)
+        if core.current is None:
+            self.start_next(core, now)
+
+    def start_next(self, core: _Core, now: float) -> None:
+        if core.queue:
+            req = core.queue.popleft()
+        else:
+            victim = max(
+                self.cores, key=lambda c: (len(c.queue), -c.cid)
+            )
+            if not victim.queue:
+                return
+            req = victim.queue.popleft()
+            self.steals += 1
+        core.current = req
+        busy = sum(1 for c in self.cores if c.current is not None)
+        req.core = core.cid
+        req.start_ns = now
+        req.finish_ns = now + self.service.service_ns(busy)
+        self.push(req.finish_ns, _FINISH, (core.cid, req))
+
+    def finish(self, core_id: int, req: Request, now: float) -> None:
+        core = self.cores[core_id]
+        core.current = None
+        self.done.append(req)
+        self.makespan = max(self.makespan, now)
+        self.start_next(core, now)
+
+    def result(self) -> ServingResult:
+        self.done.sort(key=lambda r: r.rid)
+        return ServingResult(
+            requests=self.done,
+            n_cores=len(self.cores),
+            makespan_ns=self.makespan,
+            total_steals=self.steals,
+        )
+
+
+def simulate_open_loop(
+    service: ServiceModel,
+    arrivals_ns: Sequence[float],
+    n_cores: int,
+) -> ServingResult:
+    """Serve pre-generated arrival timestamps (open loop)."""
+    loop = _EventLoop(service, n_cores)
+    for rid, t in enumerate(arrivals_ns):
+        loop.push(float(t), _ARRIVAL, Request(rid=rid, arrival_ns=float(t)))
+    while loop.heap:
+        now, kind, _, payload = heapq.heappop(loop.heap)
+        if kind == _ARRIVAL:
+            loop.dispatch(payload, now)
+        else:
+            loop.finish(payload[0], payload[1], now)
+    return loop.result()
+
+
+def simulate_closed_loop(
+    service: ServiceModel,
+    n_clients: int,
+    n_requests: int,
+    mean_think_ns: float,
+    seed: int,
+    n_cores: int,
+) -> ServingResult:
+    """Closed loop: each client re-issues after completion + think time.
+
+    Exactly ``n_requests`` requests are issued in total, spread over
+    ``n_clients`` concurrent clients (client ``i`` gets its own seeded
+    think-time sequence); all clients start at time zero.
+    """
+    if n_clients < 1:
+        raise ValueError(f"need at least one client, got {n_clients}")
+    loop = _EventLoop(service, n_cores)
+    per_client = (n_requests + n_clients - 1) // n_clients
+    thinks = {
+        c: think_times_ns(mean_think_ns, per_client, seed + 7919 * c)
+        for c in range(n_clients)
+    }
+    issued = {c: 0 for c in range(n_clients)}
+    rid = 0
+    remaining = n_requests
+
+    def issue(client: int, at: float) -> None:
+        nonlocal rid, remaining
+        if remaining <= 0:
+            return
+        remaining -= 1
+        loop.push(
+            at, _ARRIVAL, Request(rid=rid, arrival_ns=at, client=client)
+        )
+        rid += 1
+
+    for c in range(min(n_clients, n_requests)):
+        issue(c, 0.0)
+    while loop.heap:
+        now, kind, _, payload = heapq.heappop(loop.heap)
+        if kind == _ARRIVAL:
+            loop.dispatch(payload, now)
+        else:
+            core_id, req = payload
+            loop.finish(core_id, req, now)
+            client = req.client
+            i = issued[client]
+            issued[client] = i + 1
+            think = thinks[client][i % len(thinks[client])]
+            issue(client, now + think)
+    return loop.result()

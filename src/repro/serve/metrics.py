@@ -1,0 +1,56 @@
+"""Tail-latency accounting for simulation runs.
+
+A :class:`LatencySummary` condenses one run's sojourn-time trace into the
+numbers an SLO speaks: p50/p95/p99/p99.9 (exact-interpolation percentiles
+from :mod:`repro.bench.stats`), mean, max, and achieved throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentile view of one serving run (all latencies in ns)."""
+
+    n: int
+    mean_ns: float
+    p50_ns: float
+    p95_ns: float
+    p99_ns: float
+    p999_ns: float
+    max_ns: float
+    throughput_per_sec: float
+
+    def meets(self, p99_slo_ns: float) -> bool:
+        return self.p99_ns <= p99_slo_ns
+
+
+def summarize(
+    latencies_ns: Sequence[float], throughput_per_sec: float = 0.0
+) -> LatencySummary:
+    # Imported here, not at module level: repro.bench pulls in the
+    # experiment drivers (including ext_serving, which imports this
+    # module), so a top-level import would be circular.
+    from repro.bench.stats import percentiles
+
+    if not latencies_ns:
+        raise ValueError("cannot summarize an empty latency trace")
+    ps = percentiles(latencies_ns, (50.0, 95.0, 99.0, 99.9))
+    return LatencySummary(
+        n=len(latencies_ns),
+        mean_ns=sum(latencies_ns) / len(latencies_ns),
+        p50_ns=ps[50.0],
+        p95_ns=ps[95.0],
+        p99_ns=ps[99.0],
+        p999_ns=ps[99.9],
+        max_ns=max(latencies_ns),
+        throughput_per_sec=throughput_per_sec,
+    )
+
+
+def summarize_result(result) -> LatencySummary:
+    """Summary of a :class:`repro.serve.core.ServingResult`."""
+    return summarize(result.latencies_ns, result.throughput_per_sec)

@@ -1,0 +1,130 @@
+"""Load-aware index selection under a (p99 latency, memory budget) SLO.
+
+``table2`` answers "which index is fastest?" with a single steady-state
+number.  Under real traffic the question is "which index *serves this
+load* within the tail-latency SLO, in the least memory?" -- the answer
+depends on the arrival process, because queueing inflates the tail long
+before mean throughput saturates.  The selector simulates every candidate
+measurement (one per index configuration, typically a registry sweep)
+against the same seeded arrival process and picks the cheapest-by-memory
+candidate whose simulated p99 meets the SLO within the memory budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.serve.arrivals import poisson_arrivals
+from repro.serve.contention import MachineModel, saturation_throughput
+from repro.serve.core import ServiceModel, simulate_open_loop
+from repro.serve.metrics import LatencySummary, summarize_result
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One simulated index configuration and its tail behaviour."""
+
+    index: str
+    config: dict
+    size_bytes: int
+    saturation_per_sec: float
+    summary: LatencySummary
+
+    @property
+    def size_mb(self) -> float:
+        return self.size_bytes / (1024.0 * 1024.0)
+
+
+@dataclass
+class Selection:
+    """Outcome of one SLO sweep: every candidate, plus the winner."""
+
+    offered_per_sec: float
+    p99_slo_ns: float
+    memory_budget_bytes: Optional[float]
+    candidates: List[Candidate]
+    chosen: Optional[Candidate]
+
+    def eligible(self) -> List[Candidate]:
+        return [c for c in self.candidates if self._fits(c)]
+
+    def _fits(self, c: Candidate) -> bool:
+        if c.summary.p99_ns > self.p99_slo_ns:
+            return False
+        if (
+            self.memory_budget_bytes is not None
+            and c.size_bytes > self.memory_budget_bytes
+        ):
+            return False
+        return True
+
+
+def evaluate_candidate(
+    measurement,
+    offered_per_sec: float,
+    n_requests: int,
+    seed: int,
+    n_cores: int,
+    machine: MachineModel = MachineModel(),
+    fence: bool = False,
+) -> Candidate:
+    """Simulate one measurement under Poisson load; summarize its tail."""
+    service = ServiceModel.from_measurement(
+        measurement, fence=fence, machine=machine
+    )
+    arrivals = poisson_arrivals(offered_per_sec, n_requests, seed)
+    result = simulate_open_loop(service, arrivals, n_cores)
+    return Candidate(
+        index=measurement.index,
+        config=dict(measurement.config),
+        size_bytes=measurement.size_bytes,
+        saturation_per_sec=saturation_throughput(measurement, machine),
+        summary=summarize_result(result),
+    )
+
+
+def select_under_slo(
+    measurements: Sequence,
+    offered_per_sec: float,
+    p99_slo_ns: float,
+    memory_budget_bytes: Optional[float] = None,
+    n_requests: int = 2_000,
+    seed: int = 0,
+    n_cores: int = 4,
+    machine: MachineModel = MachineModel(),
+    fence: bool = False,
+) -> Selection:
+    """Pick the cheapest index meeting the SLO at the offered load.
+
+    Every measurement is simulated against the *same* seeded arrival
+    sequence, so the comparison isolates the index (identical traffic,
+    identical tie-breaks).  The winner is the eligible candidate with the
+    smallest memory footprint; ties break on lower p99, then on
+    ``(index, sorted config)`` for full determinism.
+    """
+    candidates = [
+        evaluate_candidate(
+            m, offered_per_sec, n_requests, seed, n_cores, machine, fence
+        )
+        for m in measurements
+    ]
+    selection = Selection(
+        offered_per_sec=offered_per_sec,
+        p99_slo_ns=p99_slo_ns,
+        memory_budget_bytes=memory_budget_bytes,
+        candidates=candidates,
+        chosen=None,
+    )
+    eligible = selection.eligible()
+    if eligible:
+        selection.chosen = min(
+            eligible,
+            key=lambda c: (
+                c.size_bytes,
+                c.summary.p99_ns,
+                c.index,
+                sorted(c.config.items()),
+            ),
+        )
+    return selection

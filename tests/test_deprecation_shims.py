@@ -1,0 +1,39 @@
+"""Deprecated module shims: warn on import, keep the public API alive."""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import warnings
+
+
+class TestFitingTreeShim:
+    def test_fresh_import_emits_deprecation_warning(self):
+        sys.modules.pop("repro.learned.fiting_tree", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            module = importlib.import_module("repro.learned.fiting_tree")
+        deprecations = [
+            w for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert deprecations, "import emitted no DeprecationWarning"
+        assert "fitting_tree" in str(deprecations[0].message)
+
+    def test_public_api_is_the_canonical_class(self):
+        sys.modules.pop("repro.learned.fiting_tree", None)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shim = importlib.import_module("repro.learned.fiting_tree")
+        from repro.learned.fitting_tree import FITingTreeIndex
+
+        assert shim.__all__ == ["FITingTreeIndex"]
+        # Same object: no re-registration, isinstance checks keep working.
+        assert shim.FITingTreeIndex is FITingTreeIndex
+
+    def test_shim_class_still_functions(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shim = importlib.import_module("repro.learned.fiting_tree")
+        index = shim.FITingTreeIndex(epsilon=32)
+        assert index.name == "FITing"

@@ -1,0 +1,46 @@
+"""Every script in examples/ must run cleanly from a fresh interpreter.
+
+The examples double as living documentation of the public API; running
+each one in a subprocess (as a user would) catches import breakage,
+renamed keywords, and drifted APIs that unit tests can miss.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+EXAMPLE_SCRIPTS = sorted(glob.glob(os.path.join(EXAMPLES_DIR, "*.py")))
+
+
+def test_examples_exist():
+    assert len(EXAMPLE_SCRIPTS) >= 7
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=[os.path.basename(s) for s in EXAMPLE_SCRIPTS]
+)
+def test_example_runs_cleanly(script):
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    proc = subprocess.run(
+        [sys.executable, script],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, (
+        f"{os.path.basename(script)} exited {proc.returncode}\n"
+        f"--- stdout ---\n{proc.stdout}\n--- stderr ---\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{os.path.basename(script)} printed nothing"

@@ -28,7 +28,8 @@ def test_cli_lists_all_paper_artifacts():
     }
     assert paper_artifacts <= set(EXPERIMENTS)
     extras = set(EXPERIMENTS) - paper_artifacts
-    assert extras == {"ext1", "ext2", "ext3"}  # extension experiments are explicit
+    # extension experiments are explicit
+    assert extras == {"ext1", "ext2", "ext3", "ext_serving"}
 
 
 @pytest.mark.parametrize("exp_id", ALL_IDS)

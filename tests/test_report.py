@@ -32,6 +32,15 @@ class TestFmt:
         assert _fmt("abc") == "abc"
         assert _fmt(7) == "7"
 
+    def test_none_renders_as_dash(self):
+        assert _fmt(None) == "-"
+
+    def test_none_cell_in_table(self):
+        out = format_table(["a", "b"], [("x", None), ("y", 1.5)])
+        assert "None" not in out
+        row = out.split("\n")[2]
+        assert row.split()[-1] == "-"
+
 
 def test_format_series():
     out = format_series("title", [(1, 2.0), (3, 4.0)])

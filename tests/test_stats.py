@@ -1,9 +1,22 @@
-"""OLS regression statistics."""
+"""OLS regression statistics and percentile helpers."""
+
+import statistics
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
-from repro.bench.stats import ols
+from repro.bench.stats import (
+    TAIL_PERCENTILES,
+    ols,
+    p50,
+    p95,
+    p99,
+    p999,
+    percentile,
+    percentiles,
+)
 
 
 class TestOls:
@@ -58,6 +71,84 @@ class TestOls:
         r = ols({"x": np.arange(10.0)}, np.arange(10.0) + np.random.default_rng(0).normal(size=10))
         with pytest.raises(KeyError):
             r.coefficient("y")
+
+
+finite_samples = st.lists(
+    st.floats(
+        min_value=-1e12, max_value=1e12,
+        allow_nan=False, allow_infinity=False,
+    ),
+    min_size=2,
+    max_size=200,
+)
+
+
+class TestPercentile:
+    """Exact-interpolation percentiles vs ``statistics.quantiles``."""
+
+    @given(finite_samples)
+    def test_matches_statistics_inclusive_percentiles(self, values):
+        cuts = statistics.quantiles(values, n=100, method="inclusive")
+        for i in (50, 95, 99):
+            assert percentile(values, float(i)) == pytest.approx(
+                cuts[i - 1], rel=1e-9, abs=1e-6
+            )
+
+    @given(finite_samples)
+    def test_p999_matches_statistics_permille(self, values):
+        cuts = statistics.quantiles(values, n=1000, method="inclusive")
+        assert p999(values) == pytest.approx(cuts[998], rel=1e-9, abs=1e-6)
+
+    @given(finite_samples)
+    def test_matches_numpy_linear_interpolation(self, values):
+        for q in (0.0, 12.5, 50.0, 99.9, 100.0):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(np.array(values, dtype=np.float64), q)),
+                rel=1e-9,
+                abs=1e-6,
+            )
+
+    @given(finite_samples, st.floats(min_value=0.0, max_value=100.0))
+    def test_bounded_by_extremes_and_monotone(self, values, q):
+        p = percentile(values, q)
+        assert min(values) <= p <= max(values)
+        assert percentile(values, 0.0) == min(values)
+        assert percentile(values, 100.0) == max(values)
+
+    def test_known_interpolation(self):
+        # rank = 0.5 * 3 = 1.5 -> halfway between 20 and 30.
+        assert percentile([10, 20, 30, 40], 50) == 25.0
+        assert p50([1.0, 2.0, 3.0]) == 2.0
+        assert p95([0.0] * 19 + [100.0]) == pytest.approx(5.0)
+
+    def test_singleton_and_empty(self):
+        assert percentile([7.0], 99.9) == 7.0
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentiles([], (50.0,))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0, 2.0], -1)
+        with pytest.raises(ValueError):
+            percentile([1.0, 2.0], 101)
+        with pytest.raises(ValueError):
+            percentiles([1.0, 2.0], (50.0, 200.0))
+
+    @given(finite_samples)
+    def test_percentiles_consistent_with_percentile(self, values):
+        out = percentiles(values)
+        assert set(out) == set(TAIL_PERCENTILES)
+        for q, v in out.items():
+            assert v == percentile(values, q)
+        assert out[50.0] == p50(values)
+        assert out[95.0] == p95(values)
+        assert out[99.0] == p99(values)
+        assert out[99.9] == p999(values)
+
+    def test_unsorted_input_is_sorted_internally(self):
+        assert percentile([30, 10, 40, 20], 50) == 25.0
 
 
 class TestCorrelations:
