@@ -21,6 +21,7 @@ from repro.bench.experiments import EXPERIMENTS
 from repro.bench.parallel import collect_cells, resolve_jobs, run_cells
 from repro.bench.report import format_runner_stats
 from repro.datasets.loader import DATASET_NAMES
+from repro.memsim.engine import ENGINE_NAMES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,6 +73,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the persistent measurement cache",
     )
     parser.add_argument(
+        "--memsim-engine",
+        choices=ENGINE_NAMES,
+        default=None,
+        help="simulated-CPU engine (default: $REPRO_MEMSIM_ENGINE or "
+        "reference); engines are counter-identical, so this only "
+        "changes wall-clock speed",
+    )
+    parser.add_argument(
         "--save-measurements",
         metavar="PATH",
         default=None,
@@ -106,6 +115,13 @@ def settings_from_args(args) -> BenchSettings:
         settings.cache_dir = None
     else:
         settings.cache_dir = args.cache_dir or default_cache_dir()
+    if args.memsim_engine is not None:
+        settings.memsim_engine = args.memsim_engine
+        # The engine choice travels as ambient state so pool workers
+        # (spawned by run_cells) inherit it along with in-process code.
+        import os
+
+        os.environ["REPRO_MEMSIM_ENGINE"] = args.memsim_engine
     return settings
 
 

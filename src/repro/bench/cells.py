@@ -111,8 +111,15 @@ class MeasureCell:
         self,
         dataset: Optional[Dataset] = None,
         workload: Optional[Workload] = None,
+        engine: Optional[str] = None,
     ) -> Measurement:
-        """Execute the cell; pass dataset/workload to reuse built objects."""
+        """Execute the cell; pass dataset/workload to reuse built objects.
+
+        ``engine`` selects the memsim engine for this execution (None =
+        ambient default).  It is deliberately NOT part of the cell's
+        identity or :meth:`key_fields`: both engines are
+        counter-identical, so the same cached measurement serves either.
+        """
         if dataset is None or workload is None:
             dataset, workload = self.materialize()
         return measure_index(
@@ -124,4 +131,5 @@ class MeasureCell:
             warmup=self.warmup,
             warm=self.warm,
             search=self.search,
+            engine=engine,
         )

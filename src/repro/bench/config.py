@@ -33,6 +33,11 @@ class BenchSettings:
     #: Directory of the persistent measurement cache (None = disabled;
     #: CLI: ``--cache-dir`` / ``REPRO_CACHE_DIR``, ``--no-cache``).
     cache_dir: Optional[str] = None
+    #: Memsim engine for this run (CLI: ``--memsim-engine`` /
+    #: ``REPRO_MEMSIM_ENGINE``; None = ambient default).  Both engines
+    #: are counter-identical, so this changes wall-clock only -- it is
+    #: never part of a measurement-cache key.
+    memsim_engine: Optional[str] = None
 
     @classmethod
     def quick(cls) -> "BenchSettings":

@@ -27,6 +27,7 @@ from repro.datasets.workload import Workload
 from repro.memsim.costmodel import XEON_GOLD_6230, CostModel
 from repro.memsim.counters import PerfCountersF
 from repro.memsim.memory import AddressSpace, TracedArray
+from repro.memsim.trace import TraceRecorder, TraceStore
 from repro.memsim.tracer import PerfTracer
 from repro.search.last_mile import SEARCH_FUNCTIONS
 
@@ -49,6 +50,9 @@ class BuiltIndex:
     space: AddressSpace
     dataset: Dataset
     config: dict = field(default_factory=dict)
+    #: Lazily created by ``measure(..., replay=True)``: recorded lookup
+    #: event streams, keyed by (search, key), replayed on repeat lookups.
+    traces: Optional[TraceStore] = None
 
 
 @dataclass
@@ -101,31 +105,63 @@ def measure(
     search: str = "binary",
     cost_model: CostModel = XEON_GOLD_6230,
     verify: bool = True,
+    engine: Optional[str] = None,
+    replay: bool = False,
 ) -> Measurement:
     """Replay a workload through the index on the simulated CPU.
 
     ``warm=False`` reproduces the paper's cold-cache experiment: caches
     and TLB are flushed before every measured lookup (the branch predictor
     stays warm, matching the paper's method of flushing only the cache).
+
+    ``engine`` selects the memsim engine (None -> ambient default, see
+    ``repro.memsim.engine``); both engines are counter-identical, so the
+    choice never changes the measurement.  ``replay=True`` records each
+    (search, key) lookup's event stream into ``built.traces`` on first
+    execution and replays it on repeats -- sound because tracer calls
+    return ``None``, so the stream is independent of simulator state.
+    Repeat-heavy callers (``measure_repeated``, warm/cold pairs over one
+    build) get the speedup; one-shot grid cells default to off.
     """
     index = built.index
     data = built.data
     payloads = built.payloads
     search_fn = SEARCH_FUNCTIONS[search]
-    tracer = PerfTracer()
     n = len(data)
     keys = workload.keys_py
     truths = workload.positions_py
     n_work = len(keys)
     point_only = index.point_only
 
+    store = None
+    if replay and not getattr(index, "mutating_lookups", False):
+        if built.traces is None:
+            built.traces = TraceStore()
+        store = built.traces
+    tracer = PerfTracer(
+        engine=engine, sites=store.sites if store is not None else None
+    )
+    replay_trace = tracer.replay
+
     def one_lookup(i: int, check: bool) -> float:
         key = keys[i % n_work]
-        bound = index.lookup(key, tracer)
-        pos = search_fn(data, key, bound, tracer)
-        tracer.instr(_LOOP_INSTR)
+        if store is not None:
+            entry = store.get((search, key))
+            if entry is not None:
+                trace, lg = entry
+                replay_trace(trace)
+                return lg
+            # Record the first execution (verified below even during
+            # warmup, so every replayed stream was checked once).
+            t = TraceRecorder(tracer, store.sites)
+            check = check or verify
+        else:
+            t = tracer
+        bound = index.lookup(key, t)
+        pos = search_fn(data, key, bound, t)
+        t.instr(_LOOP_INSTR)
         if pos < n:
-            payloads.touch(pos, tracer)
+            payloads.touch(pos, t)
         if check:
             truth = truths[i % n_work]
             ok = pos == truth or (point_only and truth >= n)
@@ -134,7 +170,10 @@ def measure(
                     f"{index.name}: key {key} -> position {pos}, "
                     f"expected {truth} (bound [{bound.lo}, {bound.hi}))"
                 )
-        return math.log2(len(bound)) if len(bound) > 0 else 0.0
+        lg = math.log2(len(bound)) if len(bound) > 0 else 0.0
+        if store is not None:
+            store.put((search, key), t.finish(), lg)
+        return lg
 
     for i in range(min(warmup, max(n_work, 1))):
         one_lookup(i, False)
@@ -204,6 +243,7 @@ def measure_repeated(
     chunk_lookups: int = 300,
     warmup: int = 300,
     cost_model: CostModel = XEON_GOLD_6230,
+    replay: bool = True,
     **measure_kwargs,
 ) -> RepeatedMeasurement:
     """Measure in chunks over one warm run; report per-chunk dispersion.
@@ -211,6 +251,12 @@ def measure_repeated(
     The simulator is deterministic given a workload, so dispersion here
     reflects genuine workload heterogeneity (different keys hit different
     structure regions), not timer noise.
+
+    Chunk ``i`` re-runs the previous chunks' lookups as its warmup, so
+    trace replay is on by default here: every lookup seen before is
+    replayed from its recorded event stream instead of re-executing
+    index code, with byte-identical counters
+    (``tests/test_harness_replay.py``).
     """
     chunks = []
     for i in range(n_chunks):
@@ -222,6 +268,7 @@ def measure_repeated(
             n_lookups=chunk_lookups,
             warmup=warmup + i * chunk_lookups,
             cost_model=cost_model,
+            replay=replay,
             **measure_kwargs,
         )
         chunks.append(m)

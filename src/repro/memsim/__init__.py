@@ -26,6 +26,15 @@ from repro.memsim.counters import PerfCounters
 from repro.memsim.tracer import NULL_TRACER, NullTracer, PerfTracer, Tracer
 from repro.memsim.cache import Cache, CacheHierarchy
 from repro.memsim.branch import BranchPredictor
+from repro.memsim.engine import (
+    ENGINE_NAMES,
+    FastEngine,
+    ReferenceEngine,
+    SiteInterner,
+    default_engine_name,
+    make_engine,
+)
+from repro.memsim.trace import Trace, TraceRecorder, TraceStore
 from repro.memsim.memory import AddressSpace, TracedArray
 from repro.memsim.costmodel import CostModel, XEON_GOLD_6230
 
@@ -38,6 +47,15 @@ __all__ = [
     "Cache",
     "CacheHierarchy",
     "BranchPredictor",
+    "ENGINE_NAMES",
+    "FastEngine",
+    "ReferenceEngine",
+    "SiteInterner",
+    "default_engine_name",
+    "make_engine",
+    "Trace",
+    "TraceRecorder",
+    "TraceStore",
     "AddressSpace",
     "TracedArray",
     "CostModel",

@@ -29,12 +29,14 @@ class BranchPredictor:
         """Record a branch outcome; return True if it was predicted correctly."""
         state = self._table.get(site, _WEAK_TAKEN)
         predicted_taken = state >= _WEAK_TAKEN
+        # Write unconditionally: a site whose counter sits at a
+        # saturation boundary must still materialize a table entry, or
+        # n_sites() would undercount static always-taken/never-taken
+        # branches.
         if taken:
-            if state < 3:
-                self._table[site] = state + 1
+            self._table[site] = state + 1 if state < 3 else 3
         else:
-            if state > 0:
-                self._table[site] = state - 1
+            self._table[site] = state - 1 if state > 0 else 0
         return predicted_taken == taken
 
     def reset(self) -> None:

@@ -52,15 +52,20 @@ class Cache:
         LRU way if the set is full.
         """
         ways = self._sets[line % self.n_sets]
-        if line in ways:
-            if ways[0] != line:
-                ways.remove(line)
-                ways.insert(0, line)
+        if ways and ways[0] == line:
             return True
+        try:
+            # Move-to-front by index: one scan, where the old
+            # `in` + `remove` pair scanned the set twice on a hit.
+            i = ways.index(line)
+        except ValueError:
+            ways.insert(0, line)
+            if len(ways) > self.assoc:
+                ways.pop()
+            return False
+        del ways[i]
         ways.insert(0, line)
-        if len(ways) > self.assoc:
-            ways.pop()
-        return False
+        return True
 
     def contains(self, line: int) -> bool:
         """Check residency without updating LRU state."""

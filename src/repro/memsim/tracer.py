@@ -5,15 +5,23 @@ wall-clock benchmarking the no-op :data:`NULL_TRACER` is passed; during
 paper-shape experiments a :class:`PerfTracer` (cache hierarchy + branch
 predictor + instruction counter) is passed.  There are deliberately no
 separate "fast" and "measured" code paths that could diverge.
+
+:class:`PerfTracer` delegates the actual simulation to a pluggable
+engine (``repro.memsim.engine``): the pure-Python reference engine is
+the executable spec, and the flat-structure fast engine is its
+counter-identical optimization.  ``read``/``instr``/``branch`` are
+bound straight off the engine in ``__init__`` so the hot path pays no
+per-event delegation.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.memsim.branch import BranchPredictor
-from repro.memsim.cache import LINE_SIZE, CacheHierarchy
+from repro.memsim.cache import CacheHierarchy
 from repro.memsim.counters import PerfCounters
+from repro.memsim.engine import SiteInterner, default_engine_name, make_engine
 from repro.memsim.tlb import TLB
 
 
@@ -30,6 +38,10 @@ class Tracer:
         ``n`` retired arithmetic/logic instructions.
     branch(site, taken):
         A conditional branch at static site ``site`` with outcome ``taken``.
+
+    All three return ``None`` -- lookup code cannot observe simulator
+    state, which is what makes recorded event streams replayable
+    (``repro.memsim.trace``).
     """
 
     def read(self, addr: int, size: int = 8) -> None:
@@ -62,64 +74,79 @@ NULL_TRACER = NullTracer()
 
 
 class PerfTracer(Tracer):
-    """Counting tracer backed by a cache hierarchy and branch predictor."""
+    """Counting tracer backed by a pluggable memsim engine.
 
-    __slots__ = ("counters", "caches", "predictor", "tlb")
+    ``engine`` may be an engine name (``"reference"`` / ``"fast"``), a
+    prebuilt engine instance, or ``None`` for the ambient default
+    (``REPRO_MEMSIM_ENGINE``, else reference).  Passing custom
+    ``caches``/``predictor``/``tlb`` component objects implies the
+    reference engine, which is built around them exactly as before.
+
+    ``counters``/``caches``/``predictor``/``tlb`` delegate to the
+    engine; the fast engine raises ``AttributeError`` for the component
+    objects it does not have.
+    """
+
+    __slots__ = ("engine", "read", "instr", "branch")
 
     def __init__(
         self,
         caches: Optional[CacheHierarchy] = None,
         predictor: Optional[BranchPredictor] = None,
         tlb: Optional[TLB] = None,
+        engine: Union[str, object, None] = None,
+        sites: Optional[SiteInterner] = None,
     ):
-        self.counters = PerfCounters()
-        self.caches = caches if caches is not None else CacheHierarchy()
-        self.predictor = predictor if predictor is not None else BranchPredictor()
-        self.tlb = tlb if tlb is not None else TLB()
+        if engine is None or isinstance(engine, str):
+            name = engine
+            if name is None:
+                has_components = (
+                    caches is not None
+                    or predictor is not None
+                    or tlb is not None
+                )
+                name = "reference" if has_components else default_engine_name()
+            eng = make_engine(
+                name, caches=caches, predictor=predictor, tlb=tlb, sites=sites
+            )
+        else:
+            if caches is not None or predictor is not None or tlb is not None:
+                raise ValueError(
+                    "pass components when naming an engine, not alongside a "
+                    "prebuilt engine instance"
+                )
+            eng = engine
+        self.engine = eng
+        self.read = eng.read
+        self.instr = eng.instr
+        self.branch = eng.branch
 
-    def read(self, addr: int, size: int = 8) -> None:
-        c = self.counters
-        c.reads += 1
-        c.instructions += 1  # the load instruction itself
-        if not self.tlb.access_addr(addr):
-            # Page walk: one PTE read through the data caches.
-            c.tlb_misses += 1
-            walk_line = TLB.walk_addr(addr) // LINE_SIZE
-            level = self.caches.access_line(walk_line)
-            if level == 1:
-                c.l1_hits += 1
-            elif level == 2:
-                c.l2_hits += 1
-            elif level == 3:
-                c.l3_hits += 1
-            else:
-                c.llc_misses += 1
-        first_line = addr // LINE_SIZE
-        last_line = (addr + size - 1) // LINE_SIZE
-        for line in range(first_line, last_line + 1):
-            level = self.caches.access_line(line)
-            if level == 1:
-                c.l1_hits += 1
-            elif level == 2:
-                c.l2_hits += 1
-            elif level == 3:
-                c.l3_hits += 1
-            else:
-                c.llc_misses += 1
+    @property
+    def counters(self) -> PerfCounters:
+        return self.engine.counters
 
-    def instr(self, n: int = 1) -> None:
-        self.counters.instructions += n
+    @property
+    def caches(self) -> CacheHierarchy:
+        return self.engine.caches
 
-    def branch(self, site: str, taken: bool) -> None:
-        c = self.counters
-        c.branches += 1
-        c.instructions += 1
-        if not self.predictor.predict_and_update(site, taken):
-            c.branch_misses += 1
+    @property
+    def predictor(self) -> BranchPredictor:
+        return self.engine.predictor
+
+    @property
+    def tlb(self) -> TLB:
+        return self.engine.tlb
+
+    @property
+    def sites(self) -> SiteInterner:
+        return self.engine.sites
 
     def snapshot(self) -> PerfCounters:
-        return self.counters.copy()
+        return self.engine.snapshot()
 
     def flush_caches(self) -> None:
-        self.caches.flush()
-        self.tlb.flush()
+        self.engine.flush_caches()
+
+    def replay(self, trace) -> None:
+        """Re-run a recorded event stream (see ``repro.memsim.trace``)."""
+        self.engine.replay(trace)

@@ -1,0 +1,77 @@
+"""The committed golden grids must pass unchanged under the fast engine.
+
+This is the tentpole's end-to-end guarantee: selecting the fast memsim
+engine (explicitly or via ``REPRO_MEMSIM_ENGINE``) reproduces the exact
+pre-engine golden counters -- which is also why the measurement-cache
+key deliberately excludes the engine: both engines produce the same
+measurement, so a cache entry written under one is valid under the
+other.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench.cache import cache_key
+from repro.bench.config import BenchSettings
+from repro.bench.experiments import common, fig16_multithread
+from test_golden_regression import GOLDEN, assert_matches_golden, cell_of
+
+HERE = os.path.dirname(__file__)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_memo():
+    common.set_active_cache(None)
+    common.clear_caches()
+    yield
+    common.clear_caches()
+
+
+class TestGoldenGridUnderFastEngine:
+    @pytest.mark.parametrize(
+        "record",
+        GOLDEN,
+        ids=[
+            f"{r['index']}-{r['dataset']}-{r['key_bits']}bit" for r in GOLDEN
+        ],
+    )
+    def test_explicit_fast_engine_matches_golden(self, record):
+        assert_matches_golden(cell_of(record).run(engine="fast"), record)
+
+    def test_env_selected_fast_engine_matches_golden(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMSIM_ENGINE", "fast")
+        record = GOLDEN[0]
+        assert_matches_golden(cell_of(record).run(), record)
+
+
+class TestFig16GoldenUnderFastEngine:
+    def test_fig16_report_is_byte_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMSIM_ENGINE", "fast")
+        golden_path = os.path.join(HERE, "data", "golden_fig16.txt")
+        with open(golden_path) as f:
+            golden = f.read()
+        settings = BenchSettings(
+            n_keys=3_000,
+            n_lookups=60,
+            warmup=30,
+            max_configs=2,
+            datasets=["amzn", "osm"],
+        )
+        assert fig16_multithread.run(settings) == golden
+
+
+class TestCacheKeyExcludesEngine:
+    def test_key_fields_have_no_engine(self):
+        fields = cell_of(GOLDEN[0]).key_fields()
+        assert "engine" not in json.dumps(fields)
+
+    def test_cache_key_invariant_under_engine_env(self, monkeypatch):
+        cell = cell_of(GOLDEN[0])
+        monkeypatch.setenv("REPRO_MEMSIM_ENGINE", "fast")
+        key_fast = cache_key(cell)
+        monkeypatch.setenv("REPRO_MEMSIM_ENGINE", "reference")
+        assert cache_key(cell) == key_fast

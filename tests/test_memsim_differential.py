@@ -1,0 +1,173 @@
+"""Differential suite: the fast engine IS the reference engine, counter-wise.
+
+Hypothesis drives random read/instr/branch/flush streams through both
+engines and asserts byte-identical :class:`PerfCounters` -- not just at
+the end, but at every intermediate snapshot.  Streams mix tight spatial
+locality (repeated lines and pages, the fast paths' home turf) with
+scattered addresses (eviction pressure), because the fast engine's
+shortcuts are exactly the places where a subtle state divergence would
+hide.
+
+The same property is asserted for record-replay: replaying a recorded
+stream must equal executing it directly, on either engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim import (
+    Cache,
+    CacheHierarchy,
+    PerfTracer,
+    SiteInterner,
+    TraceRecorder,
+    make_engine,
+)
+from repro.memsim.engine import FastEngine
+from repro.memsim.tlb import TLB
+
+_SITES = ["bs.cmp", "btree.descend", "rmi.clamp", "loop"]
+
+# A handful of base addresses reused across events gives the streams
+# real temporal locality; small offsets give spatial locality within
+# lines and pages; the huge bases exercise distinct TLB pages.
+_BASES = [0, 4096, 65536, 1 << 20, (1 << 20) + 64, 1 << 30, (1 << 44) - 8192]
+
+
+def _events():
+    read = st.tuples(
+        st.just("read"),
+        st.sampled_from(_BASES),
+        st.integers(0, 5000),
+        st.sampled_from([1, 2, 4, 8, 16, 64, 200]),
+    )
+    branch = st.tuples(
+        st.just("branch"), st.sampled_from(_SITES), st.booleans()
+    )
+    instr = st.tuples(st.just("instr"), st.integers(1, 12))
+    flush = st.tuples(st.just("flush"))
+    snapshot = st.tuples(st.just("snapshot"))
+    return st.lists(
+        st.one_of(read, branch, instr, flush, snapshot), max_size=400
+    )
+
+
+def _apply(tracer, events):
+    """Feed the tracer-interface events (read/branch/instr) only."""
+    for ev in events:
+        if ev[0] == "read":
+            tracer.read(ev[1] + ev[2], ev[3])
+        elif ev[0] == "branch":
+            tracer.branch(ev[1], ev[2])
+        elif ev[0] == "instr":
+            tracer.instr(ev[1])
+
+
+def _drive(tracer, events):
+    """Apply an event list; return the snapshots taken along the way."""
+    snaps = [tracer.snapshot()]
+    for ev in events:
+        if ev[0] == "flush":
+            tracer.flush_caches()
+        elif ev[0] == "snapshot":
+            snaps.append(tracer.snapshot())
+        else:
+            _apply(tracer, [ev])
+    snaps.append(tracer.snapshot())
+    return snaps
+
+
+@given(_events())
+@settings(max_examples=150, deadline=None)
+def test_fast_engine_is_counter_identical(events):
+    ref = PerfTracer(engine="reference")
+    fast = PerfTracer(engine="fast")
+    assert _drive(ref, events) == _drive(fast, events)
+
+
+@given(_events())
+@settings(max_examples=60, deadline=None)
+def test_fast_engine_identical_under_tiny_geometry(events):
+    """Small caches/TLBs put every access on the eviction paths."""
+    ref = PerfTracer(
+        caches=CacheHierarchy(
+            l1=Cache(2 * 64, 2, "L1"),
+            l2=Cache(8 * 64, 2, "L2"),
+            l3=Cache(16 * 64, 4, "L3"),
+        ),
+        tlb=TLB(l1_entries=2, l2_entries=4),
+    )
+    fast = PerfTracer(
+        engine=FastEngine(
+            l1=(2 * 64, 2), l2=(8 * 64, 2), l3=(16 * 64, 4), tlb_entries=(2, 4)
+        )
+    )
+    assert _drive(ref, events) == _drive(fast, events)
+
+
+@given(_events())
+@settings(max_examples=60, deadline=None)
+def test_replay_equals_direct_execution(events):
+    """Record through a recorder, replay on fresh engines of both kinds."""
+    sites = SiteInterner()
+    recorder = TraceRecorder(sites=sites)
+    # Flushes and snapshots are measurement-loop concerns, not lookup
+    # events; a trace holds only the tracer-visible stream.
+    stream = [e for e in events if e[0] in ("read", "branch", "instr")]
+    _apply(recorder, stream)
+    trace = recorder.finish()
+
+    direct = PerfTracer(engine="reference", sites=sites)
+    _apply(direct, stream)
+    expected = direct.snapshot()
+
+    for name in ("reference", "fast"):
+        t = PerfTracer(engine=name, sites=sites)
+        t.replay(trace)
+        assert t.snapshot() == expected, name
+
+
+@given(_events())
+@settings(max_examples=40, deadline=None)
+def test_replay_composes_with_live_events(events):
+    """Interleaving replay with direct calls keeps engines in lockstep."""
+    stream = [e for e in events if e[0] in ("read", "branch", "instr")]
+    sites = SiteInterner()
+    recorder = TraceRecorder(sites=sites)
+    _apply(recorder, stream)
+    trace = recorder.finish()
+
+    results = []
+    for name in ("reference", "fast"):
+        t = PerfTracer(engine=name, sites=sites)
+        _apply(t, stream)  # warm state directly...
+        t.replay(trace)  # ...then replay the same stream on top
+        t.flush_caches()
+        t.replay(trace)  # ...and again from cold
+        results.append(t.snapshot())
+    assert results[0] == results[1]
+
+
+def test_branch_site_count_matches_across_engines():
+    events = [("branch", s, t) for s in _SITES for t in (True, False, True)]
+    ref = make_engine("reference")
+    fast = make_engine("fast")
+    for _, site, taken in events:
+        ref.branch(site, taken)
+        fast.branch(site, taken)
+    assert ref.n_branch_sites() == fast.n_branch_sites() == len(_SITES)
+
+
+@pytest.mark.parametrize("engine", ["reference", "fast"])
+def test_multiline_and_page_crossing_reads(engine):
+    """Deterministic spot-check: a read spanning lines and pages."""
+    t = PerfTracer(engine=engine)
+    t.read(4096 - 32, 64)  # crosses a line AND a page boundary
+    c = t.counters
+    assert c.reads == 1
+    assert c.l1_hits + c.l2_hits + c.l3_hits + c.llc_misses == 3  # walk + 2
+    assert c.tlb_misses == 1  # only the first page is translated

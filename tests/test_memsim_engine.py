@@ -1,0 +1,170 @@
+"""Unit tests for the memsim engine layer (`repro.memsim.engine`).
+
+Engine selection semantics, the SiteInterner, API parity between
+PerfTracer-over-reference and PerfTracer-over-fast, and the
+BranchPredictor table-materialization regression.  Counter *equivalence*
+between engines lives in ``tests/test_memsim_differential.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memsim import (
+    ENGINE_NAMES,
+    BranchPredictor,
+    Cache,
+    CacheHierarchy,
+    FastEngine,
+    PerfCounters,
+    PerfTracer,
+    ReferenceEngine,
+    SiteInterner,
+    default_engine_name,
+    make_engine,
+)
+from repro.memsim.tlb import TLB
+
+
+class TestSiteInterner:
+    def test_ids_are_dense_and_stable(self):
+        si = SiteInterner()
+        assert si.intern("a") == 0
+        assert si.intern("b") == 1
+        assert si.intern("a") == 0
+        assert len(si) == 2
+        assert si.name(0) == "a" and si.name(1) == "b"
+
+    def test_shared_interner_agrees_across_engines(self):
+        si = SiteInterner()
+        ref = make_engine("reference", sites=si)
+        fast = make_engine("fast", sites=si)
+        assert ref.sites is si and fast.sites is si
+
+
+class TestEngineSelection:
+    def test_default_is_reference(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MEMSIM_ENGINE", raising=False)
+        assert default_engine_name() == "reference"
+        assert PerfTracer().engine.name == "reference"
+
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    def test_env_var_selects_engine(self, monkeypatch, name):
+        monkeypatch.setenv("REPRO_MEMSIM_ENGINE", name)
+        assert default_engine_name() == name
+        assert PerfTracer().engine.name == name
+
+    def test_env_var_rejects_unknown_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMSIM_ENGINE", "warp9")
+        with pytest.raises(ValueError, match="warp9"):
+            default_engine_name()
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMSIM_ENGINE", "fast")
+        assert PerfTracer(engine="reference").engine.name == "reference"
+
+    def test_custom_components_imply_reference(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMSIM_ENGINE", "fast")
+        caches = CacheHierarchy(l1=Cache(4096, 4, "tiny"))
+        t = PerfTracer(caches=caches)
+        assert t.engine.name == "reference"
+        assert t.caches is caches
+
+    def test_fast_engine_rejects_component_objects(self):
+        with pytest.raises(ValueError, match="reference"):
+            make_engine("fast", caches=CacheHierarchy())
+
+    def test_unknown_engine_name_raises(self):
+        with pytest.raises(ValueError, match="hyperspeed"):
+            make_engine("hyperspeed")
+
+    def test_prebuilt_engine_instance(self):
+        eng = FastEngine()
+        t = PerfTracer(engine=eng)
+        assert t.engine is eng
+        with pytest.raises(ValueError):
+            PerfTracer(engine=eng, tlb=TLB())
+
+
+class TestTracerApiParity:
+    """Both engines expose the same PerfTracer surface."""
+
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    def test_counters_snapshot_flush(self, name):
+        t = PerfTracer(engine=name)
+        t.read(0x1000, 8)
+        t.instr(5)
+        t.branch("x", True)
+        c = t.counters
+        assert isinstance(c, PerfCounters)
+        assert c.reads == 1 and c.branches == 1
+        assert c.instructions == 1 + 5 + 1
+        snap = t.snapshot()
+        t.instr(1)
+        assert snap.instructions == 7  # snapshot is detached
+        t.flush_caches()
+        # Flush drops cache/TLB state but not accumulated counters.
+        assert t.counters.reads == 1
+        before = t.counters.llc_misses
+        t.read(0x1000, 8)
+        # Cold again after flush: page walk + data line both go to DRAM.
+        assert t.counters.llc_misses == before + 2
+
+    def test_reference_exposes_components(self):
+        t = PerfTracer(engine="reference")
+        assert isinstance(t.caches, CacheHierarchy)
+        assert isinstance(t.predictor, BranchPredictor)
+        assert isinstance(t.tlb, TLB)
+
+    def test_fast_engine_has_no_component_objects(self):
+        t = PerfTracer(engine="fast")
+        for attr in ("caches", "predictor", "tlb"):
+            with pytest.raises(AttributeError, match="reference"):
+                getattr(t, attr)
+
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    def test_n_branch_sites_counts_distinct_sites(self, name):
+        eng = make_engine(name)
+        for site, taken in [("a", True), ("a", True), ("b", False)]:
+            eng.branch(site, taken)
+        assert eng.n_branch_sites() == 2
+
+    def test_fast_n_branch_sites_ignores_interned_but_unbranched(self):
+        si = SiteInterner()
+        si.intern("never-branched")
+        eng = make_engine("fast", sites=si)
+        eng.branch("real", True)
+        assert eng.n_branch_sites() == 1
+
+
+class TestBranchTableMaterialization:
+    """Regression (satellite fix): every branched site gets a table entry.
+
+    A site whose counter sits at a saturation boundary (always-taken
+    from the first outcome, or pinned at 0/3) must still materialize in
+    the predictor table so ``n_sites()`` counts static branches.
+    """
+
+    def test_always_taken_site_is_materialized(self):
+        p = BranchPredictor()
+        for _ in range(4):  # reaches and then sits at saturation (3)
+            p.predict_and_update("loop.backedge", True)
+        assert p.n_sites() == 1
+        assert p._table["loop.backedge"] == 3
+
+    def test_never_taken_saturated_site_stays_materialized(self):
+        p = BranchPredictor()
+        for _ in range(5):
+            p.predict_and_update("cold.path", False)
+        assert p._table["cold.path"] == 0
+        # Further not-taken outcomes at the floor still keep the entry.
+        p.predict_and_update("cold.path", False)
+        assert p.n_sites() == 1
+
+    def test_prediction_semantics_unchanged(self):
+        p = BranchPredictor()
+        # Initial state is weak-taken: first taken outcome predicted.
+        assert p.predict_and_update("s", True) is True
+        assert p.predict_and_update("s", False) is False  # strong-taken now
+        assert p.predict_and_update("s", False) is False  # weak-taken
+        assert p.predict_and_update("s", False) is True  # weak-not-taken

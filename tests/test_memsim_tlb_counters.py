@@ -1,0 +1,122 @@
+"""Dedicated unit tests for the TLB and PerfCounters arithmetic.
+
+Both had been covered only incidentally (through PerfTracer-level
+tests); these pin their contracts directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memsim.counters import PerfCounters, PerfCountersF
+from repro.memsim.tlb import PAGE_SHIFT, TLB, _LruSet
+
+PAGE = 1 << PAGE_SHIFT
+
+
+class TestLruSet:
+    def test_lru_eviction_order(self):
+        s = _LruSet(2)
+        assert not s.access(1)
+        assert not s.access(2)
+        assert s.access(1)  # 1 becomes MRU; 2 is now LRU
+        assert not s.access(3)  # evicts 2
+        assert s.access(1)
+        assert not s.access(2)
+
+    def test_flush(self):
+        s = _LruSet(4)
+        s.access(7)
+        s.flush()
+        assert not s.access(7)
+
+
+class TestTLB:
+    def test_hit_after_install(self):
+        tlb = TLB()
+        assert not tlb.access_addr(0)
+        assert tlb.access_addr(0)
+        assert tlb.access_addr(PAGE - 1)  # same page
+        assert not tlb.access_addr(PAGE)  # next page
+
+    def test_l2_backstops_l1_eviction(self):
+        tlb = TLB(l1_entries=2, l2_entries=8)
+        for page in range(4):  # pages 0,1 fall out of the 2-entry L1
+            tlb.access_addr(page * PAGE)
+        # Still an overall hit: page 0 is gone from L1 but resident in L2.
+        assert tlb.access_addr(0)
+
+    def test_miss_when_evicted_from_both_levels(self):
+        tlb = TLB(l1_entries=1, l2_entries=2)
+        for page in range(4):
+            tlb.access_addr(page * PAGE)
+        assert not tlb.access_addr(0)
+
+    def test_flush_forgets_everything(self):
+        tlb = TLB()
+        tlb.access_addr(123 * PAGE)
+        tlb.flush()
+        assert not tlb.access_addr(123 * PAGE)
+
+    def test_walk_addr_is_page_table_indexed(self):
+        assert TLB.walk_addr(0) == 1 << 44
+        assert TLB.walk_addr(PAGE) == (1 << 44) + 8
+        # All addresses in one page walk to the same PTE.
+        assert TLB.walk_addr(5 * PAGE + 17) == TLB.walk_addr(5 * PAGE)
+
+
+def _sample() -> PerfCounters:
+    return PerfCounters(
+        instructions=100,
+        branches=20,
+        branch_misses=5,
+        reads=40,
+        l1_hits=30,
+        l2_hits=6,
+        l3_hits=3,
+        llc_misses=1,
+        tlb_misses=2,
+    )
+
+
+class TestPerfCountersArithmetic:
+    def test_copy_is_detached(self):
+        a = _sample()
+        b = a.copy()
+        assert a == b and a is not b
+        b.instructions += 1
+        assert a.instructions == 100
+
+    def test_add_and_sub_are_fieldwise(self):
+        a = _sample()
+        b = _sample()
+        total = a + b
+        assert total.instructions == 200 and total.tlb_misses == 4
+        back = total - b
+        assert back == a
+        assert a - a == PerfCounters()
+
+    def test_sub_gives_window_deltas(self):
+        """The harness's snapshot-delta idiom: after - base."""
+        base = _sample()
+        after = _sample() + PerfCounters(instructions=7, reads=2, l1_hits=2)
+        delta = after - base
+        assert delta.instructions == 7
+        assert delta.reads == 2 and delta.l1_hits == 2
+        assert delta.branches == 0
+
+    def test_scaled_returns_float_counters(self):
+        s = _sample().scaled(0.5)
+        assert isinstance(s, PerfCountersF)
+        assert s.instructions == 50.0
+        assert s.branch_misses == 2.5
+
+    def test_per_lookup_divides_by_count(self):
+        per = _sample().per_lookup(8)
+        assert per.instructions == pytest.approx(12.5)
+        assert per.llc_misses == pytest.approx(0.125)
+
+    @pytest.mark.parametrize("n", [0, -3])
+    def test_per_lookup_rejects_nonpositive(self, n):
+        with pytest.raises(ValueError):
+            _sample().per_lookup(n)
