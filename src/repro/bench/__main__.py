@@ -81,6 +81,19 @@ def build_parser() -> argparse.ArgumentParser:
         "changes wall-clock speed",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attribute per-lookup counters to model/search phases "
+        "(adds a phase-breakdown table; counters are unchanged)",
+    )
+    parser.add_argument(
+        "--obs-dir",
+        metavar="DIR",
+        default=None,
+        help="write observability artifacts (manifest.json, spans.jsonl, "
+        "metrics.json) into DIR; implies span recording",
+    )
+    parser.add_argument(
         "--save-measurements",
         metavar="PATH",
         default=None,
@@ -122,6 +135,18 @@ def settings_from_args(args) -> BenchSettings:
         import os
 
         os.environ["REPRO_MEMSIM_ENGINE"] = args.memsim_engine
+    if args.profile:
+        settings.profile = True
+        # Same ambient pattern: workers see REPRO_OBS_PROFILE and
+        # phase-attribute their cells.
+        from repro.obs.phase import set_profiling
+
+        set_profiling(True)
+    if args.obs_dir is not None:
+        settings.obs_dir = args.obs_dir
+        import os
+
+        os.environ["REPRO_OBS"] = "1"  # workers inherit span recording
     return settings
 
 
@@ -151,6 +176,7 @@ def main(argv=None) -> int:
         cache = MeasurementCache(settings.cache_dir)
     previous_cache = common.get_active_cache()
     common.set_active_cache(cache)
+    runner_stats = None
     try:
         # Pre-compute the measurement grid of every chosen experiment:
         # cells resolve through the persistent cache and fan out over
@@ -159,8 +185,10 @@ def main(argv=None) -> int:
         # completion order.
         cells = collect_cells(chosen, settings)
         if cells:
-            _, stats = run_cells(cells, jobs=settings.jobs, cache=cache)
-            print(format_runner_stats(stats))
+            _, runner_stats = run_cells(
+                cells, jobs=settings.jobs, cache=cache
+            )
+            print(format_runner_stats(runner_stats))
             print()
 
         for exp_id in chosen:
@@ -172,6 +200,15 @@ def main(argv=None) -> int:
             print()
     finally:
         common.set_active_cache(previous_cache)
+
+    if settings.profile:
+        from repro.obs.report import format_phase_table
+
+        print(f"{'=' * 72}\n[phase breakdown]\n{'=' * 72}")
+        print(format_phase_table(common._MEASUREMENTS.values()))
+        print()
+    if settings.obs_dir:
+        _write_obs(settings, runner_stats, argv)
     if args.save_measurements:
         from repro.bench.experiments import common
         from repro.bench.export import write_measurements
@@ -183,6 +220,49 @@ def main(argv=None) -> int:
     if args.save_svg:
         _save_svgs(args.save_svg)
     return 0
+
+
+def _write_obs(settings, runner_stats, argv) -> None:
+    """Write manifest/spans/metrics (and the phase SVG) into --obs-dir."""
+    import os
+
+    from repro.bench.experiments import common
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import spans as obs_spans
+    from repro.obs.report import phase_breakdown_svg
+    from repro.obs.sink import run_manifest, write_run
+
+    reg = obs_metrics.get_registry()
+    extra = {}
+    if runner_stats is not None:
+        extra["runner"] = {
+            "total_cells": runner_stats.total_cells,
+            "unique_cells": runner_stats.unique_cells,
+            "memo_hits": runner_stats.memo_hits,
+            "cache_hits": runner_stats.cache_hits,
+            "executed": runner_stats.executed,
+            "jobs": runner_stats.jobs,
+            "wall_seconds": runner_stats.wall_seconds,
+        }
+    paths = write_run(
+        settings.obs_dir,
+        spans=obs_spans.drain(),
+        metrics_snapshot=reg.snapshot(),
+        manifest=run_manifest(settings, argv=argv, extra=extra),
+    )
+    for name in sorted(paths):
+        print(f"wrote {paths[name]}")
+    if settings.profile:
+        profiled = [
+            m
+            for m in common._MEASUREMENTS.values()
+            if getattr(m, "phases", None)
+        ]
+        if profiled:
+            svg_path = os.path.join(settings.obs_dir, "phase_breakdown.svg")
+            with open(svg_path, "w") as f:
+                f.write(phase_breakdown_svg(profiled))
+            print(f"wrote {svg_path}")
 
 
 def _save_svgs(directory: str) -> None:

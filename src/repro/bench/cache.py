@@ -26,7 +26,8 @@ from typing import Optional
 
 from repro.bench.cells import MeasureCell
 from repro.bench.harness import Measurement
-from repro.memsim.counters import PerfCountersF
+from repro.memsim.counters import PerfCounters, PerfCountersF
+from repro.obs.phase import profiling_enabled
 
 #: Bump when measurement semantics change (simulator, cost model, or the
 #: record layout); this invalidates every previously cached entry.
@@ -59,7 +60,7 @@ def cache_key(cell: MeasureCell, schema_version: Optional[int] = None) -> str:
 def measurement_to_record(m: Measurement) -> dict:
     """Full, lossless JSON form of a measurement (unlike ``export``'s
     flattened rows, this keeps every field needed to reconstruct)."""
-    return {
+    record = {
         "index": m.index,
         "dataset": m.dataset,
         "config": m.config,
@@ -75,11 +76,22 @@ def measurement_to_record(m: Measurement) -> dict:
         "search": m.search,
         "key_bits": m.key_bits,
     }
+    if m.phases is not None:
+        record["phases"] = {
+            phase: {name: getattr(c, name) for name in _COUNTER_NAMES}
+            for phase, c in m.phases.items()
+        }
+    return record
 
 
 def measurement_from_record(record: dict) -> Measurement:
     record = dict(record)
     record["counters"] = PerfCountersF(**record["counters"])
+    phases = record.get("phases")
+    if phases is not None:
+        record["phases"] = {
+            phase: PerfCounters(**vals) for phase, vals in phases.items()
+        }
     return Measurement(**record)
 
 
@@ -104,6 +116,12 @@ class MeasurementCache:
             with open(path) as f:
                 entry = json.load(f)
         except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if profiling_enabled() and "phases" not in entry["measurement"]:
+            # The caller wants phase attribution but this record predates
+            # it (or was produced unprofiled): re-execute.  The refreshed
+            # record overwrites this one, counters byte-identical.
             self.misses += 1
             return None
         self.hits += 1

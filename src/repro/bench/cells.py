@@ -112,6 +112,7 @@ class MeasureCell:
         dataset: Optional[Dataset] = None,
         workload: Optional[Workload] = None,
         engine: Optional[str] = None,
+        profile: Optional[bool] = None,
     ) -> Measurement:
         """Execute the cell; pass dataset/workload to reuse built objects.
 
@@ -119,6 +120,9 @@ class MeasureCell:
         ambient default).  It is deliberately NOT part of the cell's
         identity or :meth:`key_fields`: both engines are
         counter-identical, so the same cached measurement serves either.
+        ``profile`` likewise (None = ambient ``REPRO_OBS_PROFILE``):
+        phase attribution annotates a measurement without changing any
+        of its counters.
         """
         if dataset is None or workload is None:
             dataset, workload = self.materialize()
@@ -132,4 +136,5 @@ class MeasureCell:
             warm=self.warm,
             search=self.search,
             engine=engine,
+            profile=profile,
         )

@@ -38,6 +38,13 @@ class BenchSettings:
     #: are counter-identical, so this changes wall-clock only -- it is
     #: never part of a measurement-cache key.
     memsim_engine: Optional[str] = None
+    #: Attribute per-lookup counters to model/search phases (CLI:
+    #: ``--profile`` / ``REPRO_OBS_PROFILE``).  Annotates measurements
+    #: without changing any counter, so it too stays out of cache keys.
+    profile: bool = False
+    #: Directory for observability output (span JSONL, metrics snapshot,
+    #: run manifest; CLI: ``--obs-dir``).  None = no files written.
+    obs_dir: Optional[str] = None
 
     @classmethod
     def quick(cls) -> "BenchSettings":

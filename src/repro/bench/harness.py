@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -25,10 +25,13 @@ from repro.core.interface import SortedDataIndex
 from repro.datasets.loader import Dataset
 from repro.datasets.workload import Workload
 from repro.memsim.costmodel import XEON_GOLD_6230, CostModel
-from repro.memsim.counters import PerfCountersF
+from repro.memsim.counters import PerfCounters, PerfCountersF
 from repro.memsim.memory import AddressSpace, TracedArray
 from repro.memsim.trace import TraceRecorder, TraceStore
 from repro.memsim.tracer import PerfTracer
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
+from repro.obs.phase import PhaseTracer, phase_window, profiling_enabled
 from repro.search.last_mile import SEARCH_FUNCTIONS
 
 #: Instruction charge for the per-lookup loop body (increment, compare,
@@ -73,10 +76,23 @@ class Measurement:
     warm: bool = True
     search: str = "binary"
     key_bits: int = 64
+    #: Raw per-phase counter totals over the measured window (``--profile``
+    #: only, else None).  Values are integer :class:`PerfCounters` whose
+    #: field-wise sum equals ``counters * n_lookups`` byte-exactly.
+    phases: Optional[Dict[str, PerfCounters]] = None
 
     @property
     def size_mb(self) -> float:
         return self.size_bytes / (1024.0 * 1024.0)
+
+    def phase_per_lookup(self) -> Optional[Dict[str, PerfCountersF]]:
+        """Per-lookup float view of :attr:`phases` (None when unprofiled)."""
+        if self.phases is None:
+            return None
+        return {
+            name: c.per_lookup(self.n_lookups)
+            for name, c in self.phases.items()
+        }
 
 
 def build_index(
@@ -86,13 +102,17 @@ def build_index(
 ) -> BuiltIndex:
     """Build an index over a dataset in a fresh simulated address space."""
     config = dict(config or {})
-    space = AddressSpace()
-    dtype = np.uint32 if dataset.key_bits == 32 else np.uint64
-    data = TracedArray.allocate(
-        space, dataset.keys.astype(dtype), name="data"
-    )
-    payloads = TracedArray.allocate(space, dataset.payloads, name="payloads")
-    index = make_index(index_name, **config).build(data, space)
+    with obs_spans.span(
+        "build", index=index_name, dataset=dataset.name, n_keys=dataset.n
+    ) as sp:
+        space = AddressSpace()
+        dtype = np.uint32 if dataset.key_bits == 32 else np.uint64
+        data = TracedArray.allocate(
+            space, dataset.keys.astype(dtype), name="data"
+        )
+        payloads = TracedArray.allocate(space, dataset.payloads, name="payloads")
+        index = make_index(index_name, **config).build(data, space)
+        sp.set(build_seconds=index.build_seconds, size_bytes=index.size_bytes())
     return BuiltIndex(index, data, payloads, space, dataset, config)
 
 
@@ -107,6 +127,7 @@ def measure(
     verify: bool = True,
     engine: Optional[str] = None,
     replay: bool = False,
+    profile: Optional[bool] = None,
 ) -> Measurement:
     """Replay a workload through the index on the simulated CPU.
 
@@ -122,6 +143,13 @@ def measure(
     return ``None``, so the stream is independent of simulator state.
     Repeat-heavy callers (``measure_repeated``, warm/cold pairs over one
     build) get the speedup; one-shot grid cells default to off.
+
+    ``profile`` (None -> ambient ``REPRO_OBS_PROFILE``, the CLI's
+    ``--profile``) attributes counters to lookup phases via a
+    :class:`~repro.obs.phase.PhaseTracer`; the per-phase totals land in
+    ``Measurement.phases`` and sum byte-exactly to ``counters``.
+    Profiling disables trace replay for this call (recorded streams
+    carry no phase markers) but never changes any counter.
     """
     index = built.index
     data = built.data
@@ -132,15 +160,19 @@ def measure(
     truths = workload.positions_py
     n_work = len(keys)
     point_only = index.point_only
+    if profile is None:
+        profile = profiling_enabled()
 
     store = None
-    if replay and not getattr(index, "mutating_lookups", False):
+    if replay and not profile and not getattr(index, "mutating_lookups", False):
         if built.traces is None:
             built.traces = TraceStore()
         store = built.traces
     tracer = PerfTracer(
         engine=engine, sites=store.sites if store is not None else None
     )
+    if profile:
+        tracer = PhaseTracer(tracer)
     replay_trace = tracer.replay
 
     def one_lookup(i: int, check: bool) -> float:
@@ -157,8 +189,14 @@ def measure(
             check = check or verify
         else:
             t = tracer
+        # Phase markers are no-ops unless `t` is a PhaseTracer; indexes
+        # may refine "model" into finer phases (e.g. in-structure
+        # "search") from inside their lookup.
+        t.phase("model")
         bound = index.lookup(key, t)
+        t.phase("search")
         pos = search_fn(data, key, bound, t)
+        t.phase("other")
         t.instr(_LOOP_INSTR)
         if pos < n:
             payloads.touch(pos, t)
@@ -175,16 +213,47 @@ def measure(
             store.put((search, key), t.finish(), lg)
         return lg
 
-    for i in range(min(warmup, max(n_work, 1))):
-        one_lookup(i, False)
+    measure_span = obs_spans.span(
+        "measure",
+        index=index.name,
+        dataset=built.dataset.name,
+        n_lookups=n_lookups,
+        warmup=warmup,
+        search=search,
+        warm=warm,
+        profile=profile,
+    )
+    with measure_span:
+        replay_hits0 = store.hits if store is not None else 0
+        replay_misses0 = store.misses if store is not None else 0
+        for i in range(min(warmup, max(n_work, 1))):
+            one_lookup(i, False)
 
-    base = tracer.snapshot()
-    log2_sum = 0.0
-    for i in range(n_lookups):
-        if not warm:
-            tracer.flush_caches()
-        log2_sum += one_lookup(warmup + i, verify)
-    counters = (tracer.snapshot() - base).per_lookup(n_lookups)
+        base = tracer.snapshot()
+        # Checkpoint immediately after the base snapshot (no events can
+        # interleave), so per-phase window deltas telescope to exactly
+        # `snapshot() - base`.
+        phase_base = tracer.checkpoint() if profile else None
+        log2_sum = 0.0
+        for i in range(n_lookups):
+            if not warm:
+                tracer.flush_caches()
+            log2_sum += one_lookup(warmup + i, verify)
+        phases = (
+            phase_window(tracer.checkpoint(), phase_base) if profile else None
+        )
+        counters = (tracer.snapshot() - base).per_lookup(n_lookups)
+
+        if store is not None:
+            reg = obs_metrics.get_registry()
+            reg.counter("harness.replay.hits").inc(store.hits - replay_hits0)
+            reg.counter("harness.replay.misses").inc(
+                store.misses - replay_misses0
+            )
+            reg.counter("memsim.trace_store.rejects").inc(store.rejects)
+            store.rejects = 0
+            reg.gauge("memsim.trace_store.events").set_max(store.events)
+            reg.gauge("memsim.trace_store.traces").set_max(len(store))
 
     return Measurement(
         index=index.name,
@@ -201,6 +270,7 @@ def measure(
         warm=warm,
         search=search,
         key_bits=built.dataset.key_bits,
+        phases=phases,
     )
 
 

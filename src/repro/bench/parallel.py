@@ -27,6 +27,8 @@ from repro.bench.cache import MeasurementCache
 from repro.bench.cells import MeasureCell
 from repro.bench.experiments import common
 from repro.bench.harness import Measurement
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -52,6 +54,13 @@ class RunnerStats:
     wall_seconds: float = 0.0
     #: Per executed cell: (label, worker-measured seconds).
     cell_seconds: List[Tuple[str, float]] = field(default_factory=list)
+    #: Per resolved-this-run cell: (worker_pid, label, wall_ns,
+    #: cache_hit).  Cache hits carry the parent pid and the (tiny) cache
+    #: read time; executed cells carry the worker that ran them --
+    #: ``obs summary`` renders the per-worker load balance from this.
+    worker_cells: List[Tuple[int, str, int, bool]] = field(
+        default_factory=list
+    )
 
     @property
     def executed_seconds(self) -> float:
@@ -65,12 +74,20 @@ def cell_label(cell: MeasureCell) -> str:
     return f"{label}({cfg})" if cfg else label
 
 
-def _execute_cell(cell: MeasureCell) -> Tuple[Measurement, float]:
+def _execute_cell(cell: MeasureCell) -> Tuple[Measurement, float, int, List[dict]]:
     """Worker entry point: always computes (memo/cache checks happen in
-    the parent, before dispatch)."""
+    the parent, before dispatch).
+
+    Returns ``(measurement, seconds, worker_pid, span_records)``.  Span
+    records are captured into a private buffer (isolating any records a
+    fork inherited from the parent) and shipped back with the result;
+    the parent injects them in deterministic dispatch order.
+    """
     start = time.perf_counter()
-    measurement = cell.run()
-    return measurement, time.perf_counter() - start
+    with obs_spans.capture() as cap:
+        with obs_spans.span("cell", label=cell_label(cell)):
+            measurement = cell.run()
+    return measurement, time.perf_counter() - start, os.getpid(), cap.records
 
 
 def run_cells(
@@ -105,6 +122,7 @@ def run_cells(
             unique.append(cell)
     stats.unique_cells = len(unique)
 
+    pid = os.getpid()
     resolved: Dict[MeasureCell, Measurement] = {}
     pending: List[MeasureCell] = []
     for cell in unique:
@@ -114,35 +132,65 @@ def run_cells(
             resolved[cell] = m
             continue
         if cache is not None:
+            t0 = time.perf_counter_ns()
             m = cache.get(cell)
             if m is not None:
+                elapsed_ns = time.perf_counter_ns() - t0
                 stats.cache_hits += 1
+                stats.worker_cells.append(
+                    (pid, cell_label(cell), elapsed_ns, True)
+                )
+                obs_spans.record(
+                    "cell",
+                    time.monotonic_ns(),
+                    elapsed_ns,
+                    label=cell_label(cell),
+                    cache_hit=True,
+                )
                 resolved[cell] = m
                 continue
         pending.append(cell)
 
-    executed: Dict[MeasureCell, Tuple[Measurement, float]] = {}
+    executed: Dict[MeasureCell, Tuple[Measurement, float, int]] = {}
     if pending:
         if jobs == 1 or len(pending) == 1:
-            for cell in pending:
-                executed[cell] = _execute_cell(cell)
+            results = map(_execute_cell, pending)
         else:
             workers = min(jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                for cell, result in zip(
-                    pending, pool.map(_execute_cell, pending)
-                ):
-                    executed[cell] = result
+            pool = ProcessPoolExecutor(max_workers=workers)
+            results = pool.map(_execute_cell, pending)
+        # zip over `pending` order (pool.map preserves it): executed
+        # results, injected worker spans, and worker_cells tuples land in
+        # deterministic dispatch order, never completion order.
+        with_pool = jobs > 1 and len(pending) > 1
+        try:
+            for cell, (m, seconds, wpid, spans) in zip(pending, results):
+                executed[cell] = (m, seconds, wpid)
+                obs_spans.inject(spans)
+        finally:
+            if with_pool:
+                pool.shutdown()
 
+    reg = obs_metrics.get_registry()
+    cell_hist = reg.histogram("bench.runner.cell_wall_ns")
     for cell in unique:
         if cell in executed:
-            m, seconds = executed[cell]
+            m, seconds, wpid = executed[cell]
             stats.executed += 1
             stats.cell_seconds.append((cell_label(cell), seconds))
+            stats.worker_cells.append(
+                (wpid, cell_label(cell), int(seconds * 1e9), False)
+            )
+            cell_hist.observe(int(seconds * 1e9))
             if cache is not None:
                 cache.put(cell, m)
             resolved[cell] = m
         memo.setdefault(cell, resolved[cell])
+
+    reg.counter("bench.runner.memo_hits").inc(stats.memo_hits)
+    reg.counter("bench.runner.cache_hits").inc(stats.cache_hits)
+    reg.counter("bench.runner.executed").inc(stats.executed)
+    reg.gauge("bench.runner.jobs").set_max(jobs)
 
     stats.wall_seconds = time.perf_counter() - start
     return [resolved[cell] for cell in cells], stats

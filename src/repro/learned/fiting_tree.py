@@ -3,7 +3,8 @@
 The module originally shipped under this misspelled name; it was renamed
 in favour of the correct spelling.  Importing this shim keeps old code
 working (same class object, no re-registration) but emits a
-``DeprecationWarning``.
+``DeprecationWarning``.  The shim will be removed in release 2.0; new
+in-repo imports of it are rejected by ``tests/test_lint_denylist.py``.
 """
 
 from __future__ import annotations
@@ -13,8 +14,8 @@ import warnings
 from repro.learned.fitting_tree import FITingTreeIndex
 
 warnings.warn(
-    "repro.learned.fiting_tree is deprecated (misspelling); "
-    "import repro.learned.fitting_tree instead",
+    "repro.learned.fiting_tree is deprecated (misspelling) and will be "
+    "removed in release 2.0; import repro.learned.fitting_tree instead",
     DeprecationWarning,
     stacklevel=2,
 )

@@ -127,6 +127,7 @@ class PGMIndex(SortedDataIndex):
         tracer: Tracer,
     ) -> int:
         """Index of the last segment in [lo, hi) with first_key <= key."""
+        tracer.phase("search")  # inter-level segment search
         keys = level.keys
         lo = max(lo, 0)
         hi = min(hi, level.n_segments)
@@ -149,6 +150,7 @@ class PGMIndex(SortedDataIndex):
 
         for depth in range(len(self._levels)):
             level = self._levels[depth]
+            tracer.phase("model")  # per-level linear prediction
             first_key = level.keys.get(seg, tracer)
             slope, intercept, last_pos_plus1 = level.params.get_block(
                 seg * _REC, _REC, tracer

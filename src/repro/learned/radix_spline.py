@@ -84,6 +84,7 @@ class RadixSplineIndex(SortedDataIndex):
     # -- lookup ------------------------------------------------------------
 
     def lookup(self, key: int, tracer: Tracer = NULL_TRACER) -> SearchBound:
+        tracer.phase("model")  # radix-table probe + interpolation
         key = int(key)
         n = self.n_keys
         spline = self._spline
@@ -99,7 +100,9 @@ class RadixSplineIndex(SortedDataIndex):
 
         lo = self._radix_table.get(prefix, tracer)
         hi = self._radix_table.get(prefix + 1, tracer)
-        # Binary search in [lo, hi] for the first spline key >= lookup key.
+        # Binary search in [lo, hi] for the first spline key >= lookup key:
+        # RS's in-structure search, distinct from its model arithmetic.
+        tracer.phase("search")
         hi = min(hi + 1, n_knots)
         while lo < hi:
             mid = (lo + hi) // 2
@@ -111,6 +114,7 @@ class RadixSplineIndex(SortedDataIndex):
             else:
                 hi = mid
 
+        tracer.phase("model")
         if lo == 0:
             # Key at or below the first knot: position 0 is the answer.
             return SearchBound(0, min(2, n + 1))

@@ -146,6 +146,7 @@ class RMIIndex(SortedDataIndex):
     # -- lookup ------------------------------------------------------------
 
     def lookup(self, key: int, tracer: Tracer = NULL_TRACER) -> SearchBound:
+        tracer.phase("model")  # whole RMI lookup is model evaluation
         n = self.n_keys
         kf = float(int(key))
         self._root_params.get_block(0, len(self._root_params), tracer)

@@ -171,7 +171,15 @@ class TraceStore:
     #: grid cell (a 1000-lookup measurement records ~20k events).
     DEFAULT_MAX_EVENTS = 4_000_000
 
-    __slots__ = ("sites", "max_events", "events", "hits", "misses", "_traces")
+    __slots__ = (
+        "sites",
+        "max_events",
+        "events",
+        "hits",
+        "misses",
+        "rejects",
+        "_traces",
+    )
 
     def __init__(
         self,
@@ -183,6 +191,8 @@ class TraceStore:
         self.events = 0
         self.hits = 0
         self.misses = 0
+        #: Traces declined by :meth:`put` because the budget was full.
+        self.rejects = 0
         self._traces: Dict[object, Tuple[Trace, object]] = {}
 
     def get(self, key) -> Optional[Tuple[Trace, object]]:
@@ -198,6 +208,7 @@ class TraceStore:
         if key in self._traces:
             return True
         if self.events + len(trace) > self.max_events:
+            self.rejects += 1
             return False
         self._traces[key] = (trace, meta)
         self.events += len(trace)

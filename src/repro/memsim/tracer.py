@@ -38,10 +38,16 @@ class Tracer:
         ``n`` retired arithmetic/logic instructions.
     branch(site, taken):
         A conditional branch at static site ``site`` with outcome ``taken``.
+    phase(name):
+        Marker: subsequent events belong to lookup phase ``name``
+        ("model", "search", ...).  A no-op on every stock tracer; the
+        profiling :class:`~repro.obs.phase.PhaseTracer` overrides it to
+        attribute counter deltas per phase.  Markers are advisory and
+        never recorded into traces, so they cannot change counters.
 
-    All three return ``None`` -- lookup code cannot observe simulator
-    state, which is what makes recorded event streams replayable
-    (``repro.memsim.trace``).
+    The event methods return ``None`` -- lookup code cannot observe
+    simulator state, which is what makes recorded event streams
+    replayable (``repro.memsim.trace``).
     """
 
     def read(self, addr: int, size: int = 8) -> None:
@@ -52,6 +58,9 @@ class Tracer:
 
     def branch(self, site: str, taken: bool) -> None:
         raise NotImplementedError
+
+    def phase(self, name: str) -> None:
+        pass
 
 
 class NullTracer(Tracer):

@@ -1,0 +1,92 @@
+"""CLI: summarize a run's observability artifacts.
+
+::
+
+    python -m repro.obs summary RUN_DIR [--top N]
+
+reads ``spans.jsonl`` / ``metrics.json`` / ``manifest.json`` from a
+directory written by ``python -m repro.bench --obs-dir RUN_DIR`` and
+renders the span flame table, the top-N slowest grid cells, per-worker
+load balance, and the metrics snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.obs.report import (
+    format_metrics,
+    format_slowest_cells,
+    format_span_flame,
+    format_worker_balance,
+    worker_cells_from_spans,
+)
+from repro.obs.sink import (
+    MANIFEST_FILENAME,
+    METRICS_FILENAME,
+    SPANS_FILENAME,
+    read_jsonl,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect observability artifacts of a benchmark run.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    summary = sub.add_parser(
+        "summary", help="span flame table, slowest cells, worker balance"
+    )
+    summary.add_argument("run_dir", help="directory written by --obs-dir")
+    summary.add_argument(
+        "--top", type=int, default=10, help="rows in the slowest-cell table"
+    )
+    return parser
+
+
+def summarize(run_dir: str, top: int = 10) -> str:
+    parts = []
+    manifest_path = os.path.join(run_dir, MANIFEST_FILENAME)
+    if os.path.exists(manifest_path):
+        with open(manifest_path) as f:
+            manifest = json.load(f)
+        parts.append(
+            "run: git={git} engine={engine} seed={seed} config={cfg}".format(
+                git=(manifest.get("git_sha") or "?")[:12],
+                engine=manifest.get("memsim_engine", "?"),
+                seed=manifest.get("seed", "?"),
+                cfg=manifest.get("config_hash", "?"),
+            )
+        )
+    spans_path = os.path.join(run_dir, SPANS_FILENAME)
+    spans = read_jsonl(spans_path) if os.path.exists(spans_path) else []
+    parts.append(f"\n== span flame table ({len(spans)} spans) ==")
+    parts.append(format_span_flame(spans))
+    parts.append(f"\n== slowest cells (top {top}) ==")
+    parts.append(format_slowest_cells(spans, limit=top))
+    parts.append("\n== worker load balance ==")
+    parts.append(format_worker_balance(worker_cells_from_spans(spans)))
+    metrics_path = os.path.join(run_dir, METRICS_FILENAME)
+    if os.path.exists(metrics_path):
+        with open(metrics_path) as f:
+            snapshot = json.load(f)
+        parts.append("\n== metrics ==")
+        parts.append(format_metrics(snapshot))
+    return "\n".join(parts)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if not os.path.isdir(args.run_dir):
+        print(f"not a directory: {args.run_dir}", file=sys.stderr)
+        return 2
+    print(summarize(args.run_dir, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

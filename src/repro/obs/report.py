@@ -1,0 +1,292 @@
+"""Render observability data: phase tables, span flame tables, load views.
+
+Everything here consumes plain data (span dicts, measurements, runner
+stats) and returns strings/SVG -- no global state, so the same
+formatters serve the live CLI (``--profile``) and the offline
+``python -m repro.obs summary`` reader.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bench.report import format_table
+from repro.obs.phase import PHASE_ORDER
+
+# --------------------------------------------------------------------
+# Phase breakdown (the paper-style model vs last-mile table)
+# --------------------------------------------------------------------
+
+
+def _phase_sort_key(name: str) -> Tuple[int, str]:
+    try:
+        return (PHASE_ORDER.index(name), name)
+    except ValueError:
+        return (len(PHASE_ORDER), name)
+
+
+def format_phase_table(measurements: Iterable) -> str:
+    """Per-phase counter split for every profiled measurement.
+
+    Skips measurements without phase data (e.g. resolved from an old
+    cache).  Counters are shown per lookup; ``instr%`` is the phase's
+    share of total instructions, the paper's first-order latency proxy.
+    """
+    rows = []
+    for m in measurements:
+        phases = getattr(m, "phases", None)
+        if not phases:
+            continue
+        n = max(m.n_lookups, 1)
+        total_instr = sum(c.instructions for c in phases.values())
+        cfg = ",".join(f"{k}={v}" for k, v in sorted(m.config.items()))
+        for name in sorted(phases, key=_phase_sort_key):
+            c = phases[name]
+            rows.append(
+                (
+                    m.index,
+                    m.dataset,
+                    cfg or "-",
+                    name,
+                    c.instructions / n,
+                    c.branches / n,
+                    c.branch_misses / n,
+                    c.llc_misses / n,
+                    100.0 * c.instructions / total_instr if total_instr else 0.0,
+                )
+            )
+    if not rows:
+        return "no phase data (run with --profile)"
+    return format_table(
+        [
+            "index",
+            "dataset",
+            "config",
+            "phase",
+            "instr/op",
+            "branch/op",
+            "brmiss/op",
+            "llcmiss/op",
+            "instr%",
+        ],
+        rows,
+    )
+
+
+def phase_breakdown_svg(measurements: Iterable, title: str = "") -> str:
+    """Stacked horizontal bars: per-lookup instructions by phase.
+
+    Dependency-free SVG in the style of :mod:`repro.bench.svgplot`; one
+    bar per profiled measurement, segments in canonical phase order.
+    """
+    palette = {"model": "#0072B2", "search": "#D55E00", "other": "#999999"}
+    fallback = ("#009E73", "#CC79A7", "#E69F00")
+    bars = []
+    for m in measurements:
+        phases = getattr(m, "phases", None)
+        if not phases:
+            continue
+        n = max(m.n_lookups, 1)
+        cfg = ",".join(f"{k}={v}" for k, v in sorted(m.config.items()))
+        label = f"{m.index}/{m.dataset}" + (f" ({cfg})" if cfg else "")
+        segments = [
+            (name, phases[name].instructions / n)
+            for name in sorted(phases, key=_phase_sort_key)
+        ]
+        bars.append((label, segments))
+    if not bars:
+        return "<svg xmlns='http://www.w3.org/2000/svg'/>"
+
+    bar_h, gap, left, top = 22, 8, 260, 46
+    width = 900
+    plot_w = width - left - 30
+    height = top + len(bars) * (bar_h + gap) + 40
+    max_total = max(sum(v for _, v in segs) for _, segs in bars) or 1.0
+    out = [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' "
+        f"height='{height}' font-family='sans-serif' font-size='12'>",
+        f"<text x='{left}' y='20' font-size='15'>"
+        f"{title or 'Lookup-phase instruction breakdown (per lookup)'}</text>",
+    ]
+    seen_phases: List[str] = []
+    for i, (label, segments) in enumerate(bars):
+        y = top + i * (bar_h + gap)
+        out.append(
+            f"<text x='{left - 8}' y='{y + bar_h - 6}' "
+            f"text-anchor='end'>{label}</text>"
+        )
+        x = float(left)
+        for name, value in segments:
+            if name not in seen_phases:
+                seen_phases.append(name)
+            w = plot_w * value / max_total
+            color = palette.get(
+                name, fallback[seen_phases.index(name) % len(fallback)]
+            )
+            out.append(
+                f"<rect x='{x:.1f}' y='{y}' width='{max(w, 0.5):.1f}' "
+                f"height='{bar_h}' fill='{color}'><title>{name}: "
+                f"{value:.1f} instr/lookup</title></rect>"
+            )
+            x += w
+        out.append(
+            f"<text x='{x + 6:.1f}' y='{y + bar_h - 6}'>"
+            f"{sum(v for _, v in segments):.0f}</text>"
+        )
+    legend_x = left
+    legend_y = height - 14
+    for name in seen_phases:
+        color = palette.get(name, fallback[seen_phases.index(name) % len(fallback)])
+        out.append(
+            f"<rect x='{legend_x}' y='{legend_y - 10}' width='12' "
+            f"height='12' fill='{color}'/>"
+        )
+        out.append(f"<text x='{legend_x + 16}' y='{legend_y}'>{name}</text>")
+        legend_x += 16 + 8 * len(name) + 24
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+# --------------------------------------------------------------------
+# Span views (flame table, slowest cells, worker balance)
+# --------------------------------------------------------------------
+
+
+def format_span_flame(spans: Sequence[dict], limit: int = 20) -> str:
+    """Aggregate spans by path: count, total/self wall time, errors.
+
+    ``self`` subtracts the time of *direct* children, so the table reads
+    like a collapsed flame graph sorted by total time.
+    """
+    if not spans:
+        return "no spans recorded"
+    totals: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    errors: Dict[str, int] = {}
+    child_totals: Dict[str, float] = {}
+    for s in spans:
+        path = s.get("path", s.get("name", "?"))
+        wall = s.get("wall_ns", 0)
+        totals[path] = totals.get(path, 0.0) + wall
+        counts[path] = counts.get(path, 0) + 1
+        if s.get("status") == "error":
+            errors[path] = errors.get(path, 0) + 1
+        parent_path = path.rsplit("/", 1)[0] if "/" in path else None
+        if parent_path is not None:
+            child_totals[parent_path] = child_totals.get(parent_path, 0.0) + wall
+    rows = []
+    for path in sorted(totals, key=lambda p: -totals[p])[:limit]:
+        total_ms = totals[path] / 1e6
+        self_ms = (totals[path] - child_totals.get(path, 0.0)) / 1e6
+        rows.append(
+            (
+                path,
+                counts[path],
+                f"{total_ms:.1f}",
+                f"{max(self_ms, 0.0):.1f}",
+                f"{total_ms / counts[path]:.2f}",
+                errors.get(path, 0) or "",
+            )
+        )
+    return format_table(
+        ["span", "count", "total ms", "self ms", "mean ms", "errors"], rows
+    )
+
+
+def format_slowest_cells(spans: Sequence[dict], limit: int = 10) -> str:
+    """The slowest grid cells of a run (``cell`` spans by wall time)."""
+    cells = [s for s in spans if s.get("name") == "cell"]
+    if not cells:
+        return "no cell spans recorded"
+    cells.sort(key=lambda s: -s.get("wall_ns", 0))
+    rows = [
+        (
+            (s.get("attrs") or {}).get("label", "?"),
+            s.get("pid", "?"),
+            f"{s.get('wall_ns', 0) / 1e6:.1f}",
+            s.get("status", "?"),
+        )
+        for s in cells[:limit]
+    ]
+    return format_table(["cell", "pid", "wall ms", "status"], rows)
+
+
+def format_worker_balance(
+    worker_cells: Sequence[Tuple[int, str, int, bool]]
+) -> str:
+    """Per-worker load from ``(pid, label, wall_ns, cache_hit)`` tuples.
+
+    Shows executed cells and wall time per worker pid, the direct view
+    of pool load imbalance; cache hits are listed separately (they cost
+    parent-side time only).
+    """
+    if not worker_cells:
+        return "no worker records"
+    executed: Dict[int, List[int]] = {}
+    hits: Dict[int, int] = {}
+    for pid, _label, wall_ns, cache_hit in worker_cells:
+        if cache_hit:
+            hits[pid] = hits.get(pid, 0) + 1
+        else:
+            executed.setdefault(pid, []).append(wall_ns)
+    total_wall = sum(sum(v) for v in executed.values()) or 1
+    rows = []
+    for pid in sorted(set(executed) | set(hits)):
+        walls = executed.get(pid, [])
+        wall = sum(walls)
+        rows.append(
+            (
+                pid,
+                len(walls),
+                f"{wall / 1e6:.1f}",
+                f"{100.0 * wall / total_wall:.1f}",
+                f"{max(walls) / 1e6:.1f}" if walls else "-",
+                hits.get(pid, 0),
+            )
+        )
+    return format_table(
+        ["pid", "cells", "wall ms", "share%", "max ms", "cache hits"], rows
+    )
+
+
+def worker_cells_from_spans(
+    spans: Sequence[dict],
+) -> List[Tuple[int, str, int, bool]]:
+    """Reconstruct worker-load tuples from a run's ``cell`` spans."""
+    out = []
+    for s in spans:
+        if s.get("name") != "cell":
+            continue
+        attrs = s.get("attrs") or {}
+        out.append(
+            (
+                s.get("pid", 0),
+                attrs.get("label", "?"),
+                s.get("wall_ns", 0),
+                bool(attrs.get("cache_hit", False)),
+            )
+        )
+    return out
+
+
+def format_metrics(snapshot: dict, limit: Optional[int] = None) -> str:
+    """Flat name/value listing of a metrics snapshot."""
+    rows: List[Tuple[str, object]] = []
+    for name, value in snapshot.get("counters", {}).items():
+        rows.append((name, value))
+    for name, value in snapshot.get("gauges", {}).items():
+        rows.append((name, value))
+    for name, h in snapshot.get("histograms", {}).items():
+        rows.append(
+            (
+                name,
+                f"count={h['count']} mean={h['mean']:.1f} "
+                f"min={h['min']} max={h['max']}",
+            )
+        )
+    rows.sort(key=lambda r: r[0])
+    if limit is not None:
+        rows = rows[:limit]
+    if not rows:
+        return "no metrics recorded"
+    return format_table(["metric", "value"], rows)

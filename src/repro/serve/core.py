@@ -97,6 +97,9 @@ class ServingResult:
     n_cores: int
     makespan_ns: float
     total_steals: int
+    #: Largest total backlog (queued + in service, over all cores) seen
+    #: at any dispatch instant -- the headroom number an operator watches.
+    max_queue_depth: int = 0
 
     @property
     def latencies_ns(self) -> List[float]:
@@ -133,6 +136,7 @@ class _EventLoop:
         self.done: List[Request] = []
         self.steals = 0
         self.makespan = 0.0
+        self.max_queue_depth = 0
 
     def push(self, time_ns: float, kind: int, payload) -> None:
         # (time, kind, seq) orders simultaneous events deterministically:
@@ -143,6 +147,9 @@ class _EventLoop:
     def dispatch(self, req: Request, now: float) -> None:
         core = min(self.cores, key=lambda c: (c.backlog, c.cid))
         core.queue.append(req)
+        depth = sum(c.backlog for c in self.cores)
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
         if core.current is None:
             self.start_next(core, now)
 
@@ -178,6 +185,7 @@ class _EventLoop:
             n_cores=len(self.cores),
             makespan_ns=self.makespan,
             total_steals=self.steals,
+            max_queue_depth=self.max_queue_depth,
         )
 
 

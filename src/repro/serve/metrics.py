@@ -8,7 +8,7 @@ from :mod:`repro.bench.stats`), mean, max, and achieved throughput.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -26,6 +26,40 @@ class LatencySummary:
 
     def meets(self, p99_slo_ns: float) -> bool:
         return self.p99_ns <= p99_slo_ns
+
+    def to_metrics(
+        self,
+        registry=None,
+        prefix: str = "serve",
+        slo_p99_ns: Optional[float] = None,
+        result=None,
+    ) -> None:
+        """Publish this summary into an obs metrics registry.
+
+        Serving numbers then land in the same ``metrics.json`` snapshot
+        as harness and runner metrics (``repro.obs.sink.write_run``).
+        ``slo_p99_ns`` additionally counts runs and SLO violations;
+        ``result`` (a :class:`~repro.serve.core.ServingResult`) adds
+        queue-depth maxima and work-stealing counts.  Gauges take the
+        max over repeated calls, so a sweep reports its worst case.
+        """
+        from repro.obs.metrics import get_registry
+
+        reg = registry if registry is not None else get_registry()
+        reg.gauge(f"{prefix}.latency.p50_ns").set_max(self.p50_ns)
+        reg.gauge(f"{prefix}.latency.p99_ns").set_max(self.p99_ns)
+        reg.gauge(f"{prefix}.latency.p999_ns").set_max(self.p999_ns)
+        reg.gauge(f"{prefix}.latency.max_ns").set_max(self.max_ns)
+        reg.counter(f"{prefix}.requests").inc(self.n)
+        if slo_p99_ns is not None:
+            reg.counter(f"{prefix}.slo.runs").inc()
+            if not self.meets(slo_p99_ns):
+                reg.counter(f"{prefix}.slo.violations").inc()
+        if result is not None:
+            reg.gauge(f"{prefix}.queue_depth.max").set_max(
+                result.max_queue_depth
+            )
+            reg.counter(f"{prefix}.steals").inc(result.total_steals)
 
 
 def summarize(

@@ -68,19 +68,27 @@ def evaluate_candidate(
     n_cores: int,
     machine: MachineModel = MachineModel(),
     fence: bool = False,
+    slo_p99_ns: Optional[float] = None,
 ) -> Candidate:
-    """Simulate one measurement under Poisson load; summarize its tail."""
+    """Simulate one measurement under Poisson load; summarize its tail.
+
+    The summary is published to the obs metrics registry
+    (:meth:`LatencySummary.to_metrics`), so SLO violations and
+    queue-depth maxima appear in the run's metrics snapshot.
+    """
     service = ServiceModel.from_measurement(
         measurement, fence=fence, machine=machine
     )
     arrivals = poisson_arrivals(offered_per_sec, n_requests, seed)
     result = simulate_open_loop(service, arrivals, n_cores)
+    summary = summarize_result(result)
+    summary.to_metrics(slo_p99_ns=slo_p99_ns, result=result)
     return Candidate(
         index=measurement.index,
         config=dict(measurement.config),
         size_bytes=measurement.size_bytes,
         saturation_per_sec=saturation_throughput(measurement, machine),
-        summary=summarize_result(result),
+        summary=summary,
     )
 
 
@@ -105,7 +113,14 @@ def select_under_slo(
     """
     candidates = [
         evaluate_candidate(
-            m, offered_per_sec, n_requests, seed, n_cores, machine, fence
+            m,
+            offered_per_sec,
+            n_requests,
+            seed,
+            n_cores,
+            machine,
+            fence,
+            slo_p99_ns=p99_slo_ns,
         )
         for m in measurements
     ]

@@ -64,6 +64,10 @@ class _BTreeBase(SampledIndex):
         raise NotImplementedError
 
     def _predecessor(self, key: int, tracer: Tracer) -> int:
+        # Phase attribution: descent arithmetic (child-slice computation)
+        # is the tree's "model" analogue; within-node predecessor probes
+        # are its in-structure "search".
+        tracer.phase("model")
         levels = self._levels
         root = levels[-1]
         pos = self._node_predecessor(root, 0, len(root), key, tracer)
@@ -71,6 +75,7 @@ class _BTreeBase(SampledIndex):
             return -1
         for depth in range(len(levels) - 2, -1, -1):
             level = levels[depth]
+            tracer.phase("model")
             tracer.instr(_DESCEND_INSTR)
             lo = pos * self.fanout
             hi = min(lo + self.fanout, len(level))
@@ -91,6 +96,7 @@ class BTreeIndex(_BTreeBase):
     ) -> int:
         # Find the first slot whose key exceeds the lookup key, then step
         # back one.
+        tracer.phase("search")
         left, right = lo, hi
         while left < right:
             mid = (left + right) // 2
@@ -114,6 +120,7 @@ class IBTreeIndex(_BTreeBase):
     def _node_predecessor(
         self, level: TracedArray, lo: int, hi: int, key: int, tracer: Tracer
     ) -> int:
+        tracer.phase("search")
         first = level.get(lo, tracer)
         tracer.branch("ibtree.low", key < first)
         if key < first:

@@ -18,7 +18,11 @@ class TestFitingTreeShim:
             if issubclass(w.category, DeprecationWarning)
         ]
         assert deprecations, "import emitted no DeprecationWarning"
-        assert "fitting_tree" in str(deprecations[0].message)
+        message = str(deprecations[0].message)
+        assert "fitting_tree" in message
+        # The warning must name the removal release (satellite of the
+        # observability PR; the lint denylist enforces no new imports).
+        assert "removed in release 2.0" in message
 
     def test_public_api_is_the_canonical_class(self):
         sys.modules.pop("repro.learned.fiting_tree", None)

@@ -1,0 +1,67 @@
+"""Source lint: deprecated modules must not gain new in-repo importers.
+
+``repro.learned.fiting_tree`` (misspelled; removed in release 2.0) only
+keeps *external* code alive.  Inside this repository every reference is
+denied except the shim itself and the tests that pin its behaviour --
+adding an import anywhere else fails CI here.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Trees scanned for denylisted references.
+SCAN_DIRS = ("src", "tests", "examples", "benchmarks")
+
+#: Substrings whose appearance in a Python file is a lint failure.
+DENYLIST = ("fiting_tree",)
+
+#: Files allowed to mention a denylisted name (the shim itself and the
+#: tests that deliberately exercise / police it), repo-relative.
+ALLOWLIST = {
+    "src/repro/learned/fiting_tree.py",
+    "tests/test_deprecation_shims.py",
+    "tests/test_fitting_tree.py",
+    "tests/test_lint_denylist.py",
+}
+
+
+def _python_files():
+    for scan_dir in SCAN_DIRS:
+        root = os.path.join(REPO_ROOT, scan_dir)
+        if not os.path.isdir(root):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for name in filenames:
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+@pytest.mark.parametrize("token", DENYLIST)
+def test_no_new_references_to_denylisted_modules(token):
+    offenders = []
+    for path in _python_files():
+        rel = os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+        if rel in ALLOWLIST:
+            continue
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                if token in line:
+                    offenders.append(f"{rel}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        f"deprecated module {token!r} referenced outside its allowlist "
+        "(it is removed in release 2.0; import the canonical module "
+        "instead):\n" + "\n".join(offenders)
+    )
+
+
+def test_allowlisted_shim_still_exists():
+    # When the shim is finally deleted (release 2.0), this test and the
+    # allowlist should be retired with it.
+    assert os.path.exists(
+        os.path.join(REPO_ROOT, "src/repro/learned/fiting_tree.py")
+    )

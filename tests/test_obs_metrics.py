@@ -1,0 +1,84 @@
+"""Metrics registry: instruments, snapshots, cross-process merge."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc()
+        reg.counter("a.b").inc(4)
+        assert reg.counter("a.b").value == 5
+
+    def test_gauge_set_and_high_water(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(3)
+        g.set_max(2)
+        assert g.value == 3
+        g.set_max(9)
+        assert g.value == 9
+
+    def test_histogram_stats_and_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("wall")
+        for v in (0, 1, 2, 3, 1024):
+            h.observe(v)
+        assert h.count == 5
+        assert h.total == 1030
+        assert h.min == 0 and h.max == 1024
+        assert h.mean == 206.0
+        # bucket i counts [2**(i-1), 2**i): 0->b0, 1->b1, 2,3->b2, 1024->b11
+        assert h.buckets == {0: 1, 1: 1, 2: 2, 11: 1}
+
+    def test_same_name_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.names() == ["x"]
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_able_and_complete(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(10)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["histograms"]["h"]["buckets"] == {"4": 1}
+
+    def test_merge_snapshot_folds_worker_registry(self):
+        worker = MetricsRegistry()
+        worker.counter("c").inc(3)
+        worker.gauge("g").set(7)
+        worker.histogram("h").observe(4)
+        worker.histogram("h").observe(100)
+
+        parent = MetricsRegistry()
+        parent.counter("c").inc(1)
+        parent.gauge("g").set(5)
+        parent.histogram("h").observe(50)
+        parent.merge_snapshot(json.loads(json.dumps(worker.snapshot())))
+
+        snap = parent.snapshot()
+        assert snap["counters"]["c"] == 4  # counters add
+        assert snap["gauges"]["g"] == 7  # gauges keep the max
+        h = snap["histograms"]["h"]
+        assert h["count"] == 3
+        assert h["sum"] == 154
+        assert h["min"] == 4 and h["max"] == 100
+
+    def test_reset_empties(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.names() == []
+
+    def test_global_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()

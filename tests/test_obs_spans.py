@@ -1,0 +1,136 @@
+"""Span tracer: nesting, exception safety, buffers, capture/inject."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.obs import spans
+
+
+@pytest.fixture(autouse=True)
+def clean_spans():
+    spans.reset()
+    spans.enable(True)
+    yield
+    spans.reset()
+
+
+class TestEnablement:
+    def test_disabled_by_default_without_env(self, monkeypatch):
+        spans.reset()
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        assert not spans.enabled()
+        with spans.span("x"):
+            pass
+        assert spans.peek() == []
+
+    def test_disabled_span_is_shared_inert_instance(self, monkeypatch):
+        spans.reset()
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        a = spans.span("a", attr=1)
+        b = spans.span("b")
+        assert a is b  # no allocation while off
+        a.set(anything="goes")  # and set() is a no-op
+
+    def test_env_var_enables(self, monkeypatch):
+        spans.reset()
+        monkeypatch.setenv("REPRO_OBS", "1")
+        assert spans.enabled()
+        monkeypatch.setenv("REPRO_OBS", "0")
+        assert not spans.enabled()
+
+    def test_explicit_enable_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "0")
+        spans.enable(True)
+        assert spans.enabled()
+
+
+class TestSpanRecords:
+    def test_single_span_record_fields(self):
+        with spans.span("build", index="RMI") as sp:
+            sp.set(size_bytes=123)
+        (rec,) = spans.peek()
+        assert rec["name"] == "build"
+        assert rec["path"] == "build"
+        assert rec["parent"] is None
+        assert rec["status"] == "ok"
+        assert rec["pid"] == os.getpid()
+        assert rec["wall_ns"] >= 0
+        assert rec["attrs"] == {"index": "RMI", "size_bytes": 123}
+
+    def test_nesting_builds_paths_and_parent_links(self):
+        with spans.span("outer") as outer:
+            with spans.span("mid"):
+                with spans.span("inner"):
+                    assert spans.current_span_path() == "outer/mid/inner"
+        inner, mid, out = spans.peek()  # completion order
+        assert inner["path"] == "outer/mid/inner"
+        assert mid["path"] == "outer/mid"
+        assert out["path"] == "outer"
+        assert inner["parent"] == mid["sid"]
+        assert mid["parent"] == out["sid"]
+        assert out["parent"] is None
+        assert out["sid"] == outer.sid
+
+    def test_exception_marks_error_and_propagates(self):
+        with pytest.raises(ValueError):
+            with spans.span("outer"):
+                with spans.span("boom"):
+                    raise ValueError("x")
+        boom, outer = spans.peek()
+        assert boom["name"] == "boom" and boom["status"] == "error"
+        assert outer["status"] == "error"
+        # The stack unwound fully: a new span is top-level again.
+        assert spans.current_span_path() == ""
+        with spans.span("after"):
+            pass
+        assert spans.peek()[-1]["parent"] is None
+
+    def test_counter_attachment_from_tracer(self):
+        from repro.memsim.tracer import PerfTracer
+
+        t = PerfTracer()
+        with spans.span("measure", tracer=t):
+            t.instr(7)
+            t.read(0)
+        (rec,) = spans.peek()
+        assert rec["counters"]["instructions"] == 8  # 7 + 1 per read
+        assert rec["counters"]["reads"] == 1
+
+    def test_synthetic_record_helper(self):
+        with spans.span("outer"):
+            spans.record("cell", 100, 200, label="X", cache_hit=True)
+        cell, outer = spans.peek()
+        assert cell["name"] == "cell"
+        assert cell["path"] == "outer/cell"
+        assert cell["parent"] == outer["sid"]
+        assert cell["wall_ns"] == 200
+        assert cell["attrs"] == {"label": "X", "cache_hit": True}
+
+
+class TestBufferOps:
+    def test_drain_clears(self):
+        with spans.span("a"):
+            pass
+        assert len(spans.drain()) == 1
+        assert spans.peek() == []
+        assert spans.drain() == []
+
+    def test_capture_isolates_and_restores(self):
+        with spans.span("before"):
+            pass
+        with spans.capture() as cap:
+            with spans.span("worker"):
+                pass
+        assert [r["name"] for r in cap.records] == ["worker"]
+        # Pre-existing records survive; captured ones are not duplicated.
+        assert [r["name"] for r in spans.peek()] == ["before"]
+
+    def test_inject_merges_external_records(self):
+        with spans.capture() as cap:
+            with spans.span("shipped"):
+                pass
+        spans.inject(cap.records)
+        assert [r["name"] for r in spans.peek()] == ["shipped"]
