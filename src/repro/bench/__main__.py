@@ -218,7 +218,7 @@ def main(argv=None) -> int:
         )
         print(f"saved {count} measurements to {args.save_measurements}")
     if args.save_svg:
-        _save_svgs(args.save_svg)
+        _save_svgs(args.save_svg, chosen, settings)
     return 0
 
 
@@ -265,7 +265,7 @@ def _write_obs(settings, runner_stats, argv) -> None:
             print(f"wrote {svg_path}")
 
 
-def _save_svgs(directory: str) -> None:
+def _save_svgs(directory: str, chosen=(), settings=None) -> None:
     import os
 
     from repro.bench.experiments import common
@@ -293,6 +293,11 @@ def _save_svgs(directory: str) -> None:
                 )
             )
         print(f"wrote {path}")
+    if settings is not None and "ext_cluster" in chosen:
+        from repro.bench.experiments import ext_cluster
+
+        for path in ext_cluster.render_svgs(settings, directory):
+            print(f"wrote {path}")
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ plots, non-grid extensions) run inline as before.
 """
 
 from repro.bench.experiments import (
+    ext_cluster,
     ext_learned_variants,
     ext_readwrite,
     ext_serving,
@@ -55,6 +56,7 @@ EXPERIMENTS = {
     "ext2": ext_skew.run,
     "ext3": ext_readwrite.run,
     "ext_serving": ext_serving.run,
+    "ext_cluster": ext_cluster.run,
 }
 
 #: Grid enumerators for the parallel runner (subset of EXPERIMENTS).
@@ -74,6 +76,7 @@ EXPERIMENT_CELLS = {
     "fig17": fig17_build_times.cells,
     "ext1": ext_learned_variants.cells,
     "ext_serving": ext_serving.cells,
+    "ext_cluster": ext_cluster.cells,
 }
 
 __all__ = ["EXPERIMENTS", "EXPERIMENT_CELLS"]

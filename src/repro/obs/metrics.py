@@ -32,19 +32,26 @@ class Counter:
 
 
 class Gauge:
-    """Last-written value, with a convenience high-water helper."""
+    """Last-written value, with convenience high/low-water helpers."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_written")
 
     def __init__(self) -> None:
         self.value: float = 0.0
+        self._written = False
 
     def set(self, value: float) -> None:
         self.value = value
+        self._written = True
 
     def set_max(self, value: float) -> None:
-        if value > self.value:
-            self.value = value
+        if not self._written or value > self.value:
+            self.set(value)
+
+    def set_min(self, value: float) -> None:
+        """Low-water mark (e.g. worst availability over a sweep)."""
+        if not self._written or value < self.value:
+            self.set(value)
 
 
 class Histogram:
@@ -138,13 +145,17 @@ class MetricsRegistry:
         """Fold another process's snapshot into this registry.
 
         Counters add; gauges keep the maximum (the interesting direction
-        for queue depths and high-water marks); histograms merge
-        count/sum/min/max/buckets exactly.
+        for queue depths and high-water marks) except low-water gauges --
+        the ``.min`` name suffix convention -- which keep the minimum;
+        histograms merge count/sum/min/max/buckets exactly.
         """
         for name, value in snap.get("counters", {}).items():
             self.counter(name).inc(value)
         for name, value in snap.get("gauges", {}).items():
-            self.gauge(name).set_max(value)
+            if name.endswith(".min"):
+                self.gauge(name).set_min(value)
+            else:
+                self.gauge(name).set_max(value)
         for name, h in snap.get("histograms", {}).items():
             mine = self.histogram(name)
             mine.count += h["count"]

@@ -13,10 +13,15 @@ deliver, and which index should serve a given load under a
 * :mod:`repro.serve.core` -- the event loop: per-core FIFO queues, work
   stealing, contention-frozen service times.
 * :mod:`repro.serve.metrics` -- p50/p95/p99/p99.9 accounting.
-* :mod:`repro.serve.selector` -- SLO-aware index selection.
+* :mod:`repro.serve.selector` -- SLO-aware index selection (single-node
+  and cluster-wide).
+* :mod:`repro.serve.cluster` -- sharded, replicated cluster simulation
+  with seeded fault injection (:mod:`repro.serve.faults`) and a
+  retry/hedge/batch router (:mod:`repro.serve.router`); see
+  ``docs/cluster.md``.
 
-Driven end-to-end by the ``ext_serving`` experiment
-(``python -m repro.bench --experiment ext_serving``).
+Driven end-to-end by the ``ext_serving`` and ``ext_cluster``
+experiments (``python -m repro.bench --experiment ext_cluster``).
 """
 
 from repro.serve.arrivals import (
@@ -39,12 +44,20 @@ from repro.serve.core import (
     simulate_closed_loop,
     simulate_open_loop,
 )
+from repro.serve.cluster import Cluster, ClusterResult, simulate_cluster
+from repro.serve.faults import FaultConfig, FaultEvent, fault_schedule
 from repro.serve.metrics import LatencySummary, summarize, summarize_result
+from repro.serve.router import RouterPolicy, ShardMap, request_keys
 from repro.serve.selector import (
     Candidate,
+    ClusterCandidate,
+    ClusterSelection,
     Selection,
+    cluster_selection_from_candidates,
     evaluate_candidate,
+    select_cluster_under_slo,
     select_under_slo,
+    selection_from_candidates,
 )
 
 __all__ = [
@@ -69,4 +82,18 @@ __all__ = [
     "Selection",
     "evaluate_candidate",
     "select_under_slo",
+    "selection_from_candidates",
+    "Cluster",
+    "ClusterResult",
+    "simulate_cluster",
+    "FaultConfig",
+    "FaultEvent",
+    "fault_schedule",
+    "RouterPolicy",
+    "ShardMap",
+    "request_keys",
+    "ClusterCandidate",
+    "ClusterSelection",
+    "cluster_selection_from_candidates",
+    "select_cluster_under_slo",
 ]

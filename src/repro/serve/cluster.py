@@ -1,0 +1,524 @@
+"""Deterministic discrete-event simulation of a sharded, replicated cluster.
+
+The single-node simulator (:mod:`repro.serve.core`) models one machine;
+this module scales it out.  A cluster is ``n_shards`` key ranges, each
+served by ``n_replicas`` independent replicas (every replica is a full
+:class:`~repro.serve.core._EventLoop` machine with its own cores and the
+shard's :class:`~repro.serve.core.ServiceModel`), all interleaved on one
+global :class:`~repro.serve.core.EventHeap` so the whole cluster shares a
+single deterministic clock.
+
+The router (:mod:`repro.serve.router`) maps each request's key to its
+shard by binary search and picks the least-backlog healthy replica.
+Failure handling, in the order a request experiences it:
+
+* **retry + capped exponential backoff** -- an attempt lost to a crash
+  (or a dispatch that finds every replica down) is retried after
+  ``min(base * 2**(k-1), cap)`` ns, up to ``max_attempts`` total
+  attempts; a request that exhausts them fails and counts against
+  availability.
+* **hedging** -- optionally, a request still incomplete
+  ``hedge_after_ns`` after dispatch is duplicated to a *different*
+  healthy replica; the first completion wins and the loser's work is
+  simply absorbed (hedging without cancellation, so its capacity cost is
+  modelled, not assumed away).
+* **degraded-mode routing** -- while some replicas of a shard are down,
+  dispatch simply concentrates on the survivors (the backlog-aware
+  replica choice does this with no special casing); only a fully-dark
+  shard forces backoff.
+
+Faults come from a pre-computed seeded schedule
+(:mod:`repro.serve.faults`): crashes empty a replica (queued and
+in-flight attempts are lost, then retried by the router) and slow events
+multiply its service times.
+
+With one shard, one replica and no faults, the cluster *is* the
+single-node simulator: the same events are pushed with the same
+sequence numbers and popped by the same loop code, so results are
+byte-identical (``tests/test_cluster_differential.py`` pins this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.serve.core import (
+    _ARRIVAL,
+    _FINISH,
+    EventHeap,
+    Request,
+    ServiceModel,
+    _EventLoop,
+)
+from repro.serve.faults import (
+    CRASH,
+    FaultConfig,
+    FaultEvent,
+    fault_schedule,
+)
+from repro.serve.metrics import LatencySummary, summarize
+from repro.serve.router import RouterPolicy, ShardMap, pick_replica
+
+# Additional event kinds; _ARRIVAL (0) and _FINISH (1) come from core so
+# the degenerate cluster pushes exactly the single-node event stream.
+_HEDGE = 2
+_RETRY = 3
+_FLUSH = 4
+_FAULT_BEGIN = 5
+_FAULT_END = 6
+
+
+@dataclass
+class ClusterRequest:
+    """End-to-end record of one request, across all its attempts."""
+
+    rid: int
+    key: int
+    shard: int
+    arrival_ns: float
+    attempts: int = 0
+    retries: int = 0
+    hedged: bool = False
+    completed: bool = False
+    failed: bool = False
+    start_ns: float = -1.0
+    finish_ns: float = -1.0
+    replica: int = -1
+    core: int = -1
+    #: Attempts currently queued or in service (internal bookkeeping).
+    live: int = 0
+    #: Replica id of the most recent dispatch (hedges exclude it).
+    last_replica: int = -1
+
+    @property
+    def latency_ns(self) -> float:
+        """Sojourn time of the *winning* attempt, from original arrival."""
+        return self.finish_ns - self.arrival_ns
+
+
+@dataclass
+class _Attempt(Request):
+    """One dispatch of a request to one replica (a core-level Request)."""
+
+    record: Optional[ClusterRequest] = None
+    rep: Optional["_Replica"] = None
+    cancelled: bool = False
+
+
+@dataclass
+class _Replica:
+    """One replica: an independent single-node event loop plus health."""
+
+    shard: int
+    rid: int
+    loop: _EventLoop
+    up: bool = True
+    slow: bool = False
+    served: int = 0
+    crash_count: int = 0
+    slow_count: int = 0
+
+    @property
+    def backlog(self) -> int:
+        return sum(c.backlog for c in self.loop.cores)
+
+
+@dataclass
+class ShardStats:
+    """Per-shard operational counters of one simulation run."""
+
+    shard: int
+    completed: int = 0
+    retries: int = 0
+    hedges: int = 0
+    crashes: int = 0
+    slow_events: int = 0
+    #: Largest backlog (queued + in service over all replicas) seen at
+    #: any dispatch instant.
+    max_queue_depth: int = 0
+
+
+@dataclass
+class Cluster:
+    """Topology + policy of a simulated cluster (no run state).
+
+    ``services[s]`` models shard ``s``'s index build; every replica of a
+    shard shares it (replicas serve identical copies of the shard).
+    """
+
+    shard_map: ShardMap
+    services: Sequence[ServiceModel]
+    n_replicas: int = 2
+    n_cores: int = 2
+    policy: RouterPolicy = field(default_factory=RouterPolicy)
+    faults: Optional[FaultConfig] = None
+
+    def __post_init__(self):
+        if len(self.services) != self.shard_map.n_shards:
+            raise ValueError(
+                f"{self.shard_map.n_shards} shards need "
+                f"{self.shard_map.n_shards} service models, "
+                f"got {len(self.services)}"
+            )
+        if self.n_replicas < 1:
+            raise ValueError(
+                f"need at least one replica, got {self.n_replicas}"
+            )
+
+    @property
+    def n_shards(self) -> int:
+        return self.shard_map.n_shards
+
+
+@dataclass
+class ClusterResult:
+    """Everything one cluster run produced, in deterministic order."""
+
+    records: List[ClusterRequest]
+    n_shards: int
+    n_replicas: int
+    n_cores: int
+    makespan_ns: float
+    completed: int
+    failed: int
+    total_retries: int
+    total_hedges: int
+    crashes: int
+    slow_events: int
+    fault_events: List[FaultEvent]
+    shard_stats: List[ShardStats]
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests that completed (vs exhausted retries)."""
+        return self.completed / len(self.records) if self.records else 1.0
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max((s.max_queue_depth for s in self.shard_stats), default=0)
+
+    @property
+    def latencies_ns(self) -> List[float]:
+        return [r.latency_ns for r in self.records if r.completed]
+
+    @property
+    def throughput_per_sec(self) -> float:
+        if self.makespan_ns <= 0.0:
+            return 0.0
+        return self.completed / (self.makespan_ns * 1e-9)
+
+    def summary(self) -> LatencySummary:
+        """Percentiles over *completed* requests (failed ones have no
+        latency; availability reports them separately)."""
+        return summarize(self.latencies_ns, self.throughput_per_sec)
+
+    def to_metrics(self, registry=None, prefix: str = "serve.cluster") -> None:
+        """Publish run counters into an obs metrics registry.
+
+        Mirrors :meth:`repro.serve.metrics.LatencySummary.to_metrics`:
+        per-shard queue-depth maxima and fault/retry counts land in the
+        same ``metrics.json`` snapshot as every other subsystem, and the
+        availability gauge keeps the *worst* value over repeated runs.
+        """
+        from repro.obs.metrics import get_registry
+
+        reg = registry if registry is not None else get_registry()
+        reg.counter(f"{prefix}.requests").inc(len(self.records))
+        reg.counter(f"{prefix}.completed").inc(self.completed)
+        reg.counter(f"{prefix}.failed").inc(self.failed)
+        reg.counter(f"{prefix}.retries").inc(self.total_retries)
+        reg.counter(f"{prefix}.hedges").inc(self.total_hedges)
+        reg.counter(f"{prefix}.faults.crashes").inc(self.crashes)
+        reg.counter(f"{prefix}.faults.slow").inc(self.slow_events)
+        reg.gauge(f"{prefix}.availability.min").set_min(self.availability)
+        depth_hist = reg.histogram(f"{prefix}.shard_queue_depth.max")
+        for st in self.shard_stats:
+            depth_hist.observe(st.max_queue_depth)
+            reg.gauge(f"{prefix}.shard{st.shard}.queue_depth.max").set_max(
+                st.max_queue_depth
+            )
+            reg.counter(f"{prefix}.shard{st.shard}.retries").inc(st.retries)
+            reg.counter(f"{prefix}.shard{st.shard}.faults").inc(
+                st.crashes + st.slow_events
+            )
+
+
+class _ClusterSim:
+    """One run's mutable state; :func:`simulate_cluster` drives it."""
+
+    def __init__(self, cluster: Cluster, horizon_ns: float):
+        self.cluster = cluster
+        self.events = EventHeap()
+        self.replicas: List[List[_Replica]] = []
+        for shard in range(cluster.n_shards):
+            row = []
+            for rid in range(cluster.n_replicas):
+                loop = _EventLoop(
+                    cluster.services[shard],
+                    cluster.n_cores,
+                    events=self.events,
+                )
+                rep = _Replica(shard=shard, rid=rid, loop=loop)
+                loop.on_finish = self._make_completion_hook(rep)
+                row.append(rep)
+            self.replicas.append(row)
+        self.records: List[ClusterRequest] = []
+        self.shard_stats = [
+            ShardStats(shard=s) for s in range(cluster.n_shards)
+        ]
+        self.batch_buf: Dict[int, List[ClusterRequest]] = {}
+        self.makespan = 0.0
+        self.completed = 0
+        self.failed = 0
+        self.total_retries = 0
+        self.total_hedges = 0
+        self.crashes = 0
+        self.slow_events = 0
+        self.schedule: List[FaultEvent] = []
+        if cluster.faults is not None and cluster.faults.enabled:
+            self.schedule = fault_schedule(
+                cluster.faults,
+                cluster.n_shards,
+                cluster.n_replicas,
+                horizon_ns,
+            )
+
+    # -- event generation ---------------------------------------------------
+
+    def load(self, arrivals_ns: Sequence[float], keys: Sequence[int]) -> None:
+        """Push arrivals first (sequence numbers 0..n-1, exactly as the
+        single-node simulator does), then the fault schedule."""
+        shard_map = self.cluster.shard_map
+        for rid, (t, key) in enumerate(zip(arrivals_ns, keys)):
+            record = ClusterRequest(
+                rid=rid,
+                key=int(key),
+                shard=shard_map.shard_for(key),
+                arrival_ns=float(t),
+            )
+            self.records.append(record)
+            self.events.push(float(t), _ARRIVAL, record)
+        for event in self.schedule:
+            self.events.push(event.time_ns, _FAULT_BEGIN, event)
+            self.events.push(event.recovery_ns, _FAULT_END, event)
+
+    # -- dispatch path ------------------------------------------------------
+
+    def _make_completion_hook(self, rep: _Replica):
+        def hook(attempt: _Attempt, now: float) -> None:
+            rep.served += 1
+            record = attempt.record
+            record.live -= 1
+            if record.completed or record.failed:
+                return  # the hedged twin already won (or retries ran out)
+            record.completed = True
+            record.start_ns = attempt.start_ns
+            record.finish_ns = now
+            record.replica = rep.rid
+            record.core = attempt.core
+            self.completed += 1
+            self.shard_stats[record.shard].completed += 1
+            if now > self.makespan:
+                self.makespan = now
+
+        return hook
+
+    def dispatch(
+        self,
+        record: ClusterRequest,
+        now: float,
+        exclude: Optional[int] = None,
+        hedge: bool = False,
+    ) -> bool:
+        replicas = self.replicas[record.shard]
+        rep = pick_replica(replicas, exclude=exclude)
+        if rep is None:
+            if hedge:
+                return False  # no second replica to hedge to
+            record.attempts += 1
+            self._maybe_retry(record, now)
+            return False
+        record.attempts += 1
+        record.last_replica = rep.rid
+        record.live += 1
+        attempt = _Attempt(
+            rid=record.rid,
+            arrival_ns=record.arrival_ns,
+            record=record,
+            rep=rep,
+        )
+        rep.loop.dispatch(attempt, now)
+        stats = self.shard_stats[record.shard]
+        depth = sum(r.backlog for r in replicas)
+        if depth > stats.max_queue_depth:
+            stats.max_queue_depth = depth
+        policy = self.cluster.policy
+        if (
+            not hedge
+            and policy.hedge_after_ns is not None
+            and self.cluster.n_replicas > 1
+        ):
+            self.events.push(now + policy.hedge_after_ns, _HEDGE, record)
+        return True
+
+    def _maybe_retry(self, record: ClusterRequest, now: float) -> None:
+        """Schedule the next attempt with capped exponential backoff."""
+        if record.completed or record.failed:
+            return
+        if record.attempts >= self.cluster.policy.max_attempts:
+            record.failed = True
+            self.failed += 1
+            return
+        record.retries += 1
+        self.total_retries += 1
+        self.shard_stats[record.shard].retries += 1
+        delay = self.cluster.policy.backoff_ns(record.retries)
+        self.events.push(now + delay, _RETRY, record)
+
+    # -- event handlers -----------------------------------------------------
+
+    def on_arrival(self, record: ClusterRequest, now: float) -> None:
+        window = self.cluster.policy.batch_window_ns
+        if window > 0.0:
+            buf = self.batch_buf.setdefault(record.shard, [])
+            buf.append(record)
+            if len(buf) == 1:
+                self.events.push(now + window, _FLUSH, record.shard)
+            return
+        self.dispatch(record, now)
+
+    def on_flush(self, shard: int, now: float) -> None:
+        buf = self.batch_buf.get(shard, [])
+        self.batch_buf[shard] = []
+        for record in buf:
+            self.dispatch(record, now)
+
+    def on_finish(self, payload, now: float) -> None:
+        loop, core_id, attempt = payload
+        if attempt.cancelled:
+            return  # replica crashed mid-service; its cores were reset
+        loop.finish(core_id, attempt, now)
+
+    def on_hedge(self, record: ClusterRequest, now: float) -> None:
+        if record.completed or record.failed or record.hedged:
+            return
+        if record.live == 0:
+            return  # lost to a crash; the retry path owns it now
+        if self.dispatch(record, now, exclude=record.last_replica, hedge=True):
+            record.hedged = True
+            self.total_hedges += 1
+            self.shard_stats[record.shard].hedges += 1
+
+    def on_retry(self, record: ClusterRequest, now: float) -> None:
+        if record.completed or record.failed:
+            return
+        self.dispatch(record, now)
+
+    def on_fault_begin(self, event: FaultEvent, now: float) -> None:
+        rep = self.replicas[event.shard][event.replica]
+        stats = self.shard_stats[event.shard]
+        if event.kind == CRASH:
+            rep.up = False
+            rep.crash_count += 1
+            self.crashes += 1
+            stats.crashes += 1
+            self._drain_crashed(rep, now)
+        else:
+            rep.slow = True
+            rep.loop.slow_factor = self.cluster.faults.slow_factor
+            rep.slow_count += 1
+            self.slow_events += 1
+            stats.slow_events += 1
+
+    def on_fault_end(self, event: FaultEvent, now: float) -> None:
+        rep = self.replicas[event.shard][event.replica]
+        if event.kind == CRASH:
+            rep.up = True  # recovers empty; queues were drained at crash
+        else:
+            rep.slow = False
+            rep.loop.slow_factor = 1.0
+
+    def _drain_crashed(self, rep: _Replica, now: float) -> None:
+        """Cancel every attempt on a crashed replica and retry elsewhere.
+
+        In-flight attempts keep their already-scheduled finish events on
+        the heap; the ``cancelled`` flag turns those pops into no-ops.
+        Cores are visited in id order, service slot before queue, so the
+        retry order is deterministic.
+        """
+        lost: List[_Attempt] = []
+        for core in rep.loop.cores:
+            if core.current is not None:
+                core.current.cancelled = True
+                lost.append(core.current)
+                core.current = None
+            while core.queue:
+                lost.append(core.queue.popleft())
+        for attempt in lost:
+            record = attempt.record
+            record.live -= 1
+            if record.live > 0:
+                continue  # a hedged twin is still running elsewhere
+            self._maybe_retry(record, now)
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self) -> ClusterResult:
+        handlers = {
+            _ARRIVAL: self.on_arrival,
+            _HEDGE: self.on_hedge,
+            _RETRY: self.on_retry,
+            _FLUSH: self.on_flush,
+            _FAULT_BEGIN: self.on_fault_begin,
+            _FAULT_END: self.on_fault_end,
+        }
+        while self.events:
+            now, kind, _, payload = self.events.pop()
+            if kind == _FINISH:
+                self.on_finish(payload, now)
+            else:
+                handlers[kind](payload, now)
+        return ClusterResult(
+            records=self.records,
+            n_shards=self.cluster.n_shards,
+            n_replicas=self.cluster.n_replicas,
+            n_cores=self.cluster.n_cores,
+            makespan_ns=self.makespan,
+            completed=self.completed,
+            failed=self.failed,
+            total_retries=self.total_retries,
+            total_hedges=self.total_hedges,
+            crashes=self.crashes,
+            slow_events=self.slow_events,
+            fault_events=self.schedule,
+            shard_stats=self.shard_stats,
+        )
+
+
+def simulate_cluster(
+    cluster: Cluster,
+    arrivals_ns: Sequence[float],
+    keys: Sequence[int],
+    fault_horizon_ns: Optional[float] = None,
+) -> ClusterResult:
+    """Run one open-loop trace through the cluster; fully deterministic.
+
+    ``keys[i]`` is the lookup key of the request arriving at
+    ``arrivals_ns[i]``; the router shards on it.  ``fault_horizon_ns``
+    bounds the fault schedule (default: last arrival plus 25% drain
+    slack) -- it only changes which faults exist, never how any given
+    schedule is replayed.
+    """
+    if len(arrivals_ns) != len(keys):
+        raise ValueError(
+            f"{len(arrivals_ns)} arrivals but {len(keys)} keys"
+        )
+    if not arrivals_ns:
+        raise ValueError("need at least one request")
+    if fault_horizon_ns is None:
+        last = float(arrivals_ns[-1])
+        fault_horizon_ns = last + max(0.25 * last, 1e6)
+    sim = _ClusterSim(cluster, horizon_ns=fault_horizon_ns)
+    sim.load(arrivals_ns, keys)
+    return sim.run()

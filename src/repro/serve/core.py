@@ -32,6 +32,36 @@ _ARRIVAL = 0
 _FINISH = 1
 
 
+class EventHeap:
+    """Deterministic event queue ordered by ``(time, kind, seq)``.
+
+    The sequence number is assigned at push time, so simultaneous events
+    of the same kind pop in FIFO order and the payload is never compared.
+    A single heap can be shared by several :class:`_EventLoop` instances
+    (the cluster simulator runs one loop per replica on one global
+    heap), which is why finish payloads carry their owning loop.
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = 0
+
+    def push(self, time_ns: float, kind: int, payload) -> None:
+        heapq.heappush(self._heap, (time_ns, kind, self._seq, payload))
+        self._seq += 1
+
+    def pop(self):
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
 class ServiceModel:
     """Per-request service times for one index, contention included."""
 
@@ -124,25 +154,39 @@ class _Core:
 
 
 class _EventLoop:
-    """Shared event-heap machinery for open- and closed-loop runs."""
+    """Shared event-heap machinery for open- and closed-loop runs.
 
-    def __init__(self, service: ServiceModel, n_cores: int):
+    ``events`` may be a shared :class:`EventHeap` so several loops (the
+    cluster's replicas) interleave on one global clock; ``on_finish`` is
+    called after a request completes and its core has pulled the next
+    one (the cluster router hooks completions there); ``slow_factor``
+    scales service times (a degraded replica).  The defaults reproduce
+    the original single-node behaviour exactly -- same events, same
+    order, same float arithmetic.
+    """
+
+    def __init__(
+        self,
+        service: ServiceModel,
+        n_cores: int,
+        events: Optional[EventHeap] = None,
+    ):
         if n_cores < 1:
             raise ValueError(f"need at least one core, got {n_cores}")
         self.service = service
         self.cores = [_Core(cid) for cid in range(n_cores)]
-        self.heap: list = []
-        self.seq = 0
+        self.events = events if events is not None else EventHeap()
         self.done: List[Request] = []
         self.steals = 0
         self.makespan = 0.0
         self.max_queue_depth = 0
+        self.slow_factor = 1.0
+        self.on_finish = None
 
     def push(self, time_ns: float, kind: int, payload) -> None:
         # (time, kind, seq) orders simultaneous events deterministically:
         # arrivals before finishes at the same instant, then FIFO.
-        heapq.heappush(self.heap, (time_ns, kind, self.seq, payload))
-        self.seq += 1
+        self.events.push(time_ns, kind, payload)
 
     def dispatch(self, req: Request, now: float) -> None:
         core = min(self.cores, key=lambda c: (c.backlog, c.cid))
@@ -168,8 +212,11 @@ class _EventLoop:
         busy = sum(1 for c in self.cores if c.current is not None)
         req.core = core.cid
         req.start_ns = now
-        req.finish_ns = now + self.service.service_ns(busy)
-        self.push(req.finish_ns, _FINISH, (core.cid, req))
+        service_ns = self.service.service_ns(busy)
+        if self.slow_factor != 1.0:
+            service_ns *= self.slow_factor
+        req.finish_ns = now + service_ns
+        self.push(req.finish_ns, _FINISH, (self, core.cid, req))
 
     def finish(self, core_id: int, req: Request, now: float) -> None:
         core = self.cores[core_id]
@@ -177,6 +224,8 @@ class _EventLoop:
         self.done.append(req)
         self.makespan = max(self.makespan, now)
         self.start_next(core, now)
+        if self.on_finish is not None:
+            self.on_finish(req, now)
 
     def result(self) -> ServingResult:
         self.done.sort(key=lambda r: r.rid)
@@ -198,12 +247,12 @@ def simulate_open_loop(
     loop = _EventLoop(service, n_cores)
     for rid, t in enumerate(arrivals_ns):
         loop.push(float(t), _ARRIVAL, Request(rid=rid, arrival_ns=float(t)))
-    while loop.heap:
-        now, kind, _, payload = heapq.heappop(loop.heap)
+    while loop.events:
+        now, kind, _, payload = loop.events.pop()
         if kind == _ARRIVAL:
             loop.dispatch(payload, now)
         else:
-            loop.finish(payload[0], payload[1], now)
+            loop.finish(payload[1], payload[2], now)
     return loop.result()
 
 
@@ -245,12 +294,12 @@ def simulate_closed_loop(
 
     for c in range(min(n_clients, n_requests)):
         issue(c, 0.0)
-    while loop.heap:
-        now, kind, _, payload = heapq.heappop(loop.heap)
+    while loop.events:
+        now, kind, _, payload = loop.events.pop()
         if kind == _ARRIVAL:
             loop.dispatch(payload, now)
         else:
-            core_id, req = payload
+            _, core_id, req = payload
             loop.finish(core_id, req, now)
             client = req.client
             i = issued[client]

@@ -1,0 +1,164 @@
+"""Seeded fault injection for the cluster simulator.
+
+Faults are generated *ahead of time* as a schedule -- a pure function of
+``(FaultConfig, topology, horizon)`` -- rather than sampled inside the
+event loop.  That keeps the cluster simulation a deterministic replay
+(the same config always yields the same crashes at the same nanoseconds,
+regardless of what the router does in between) and makes fault schedules
+directly comparable in tests.
+
+Two independent fault processes per replica, in the classic renewal
+form:
+
+* **crash** -- the replica goes down entirely: queued and in-flight
+  requests are lost (the router retries them elsewhere), and the replica
+  comes back empty after the repair time.
+* **slow** -- the replica keeps serving but every service time is
+  multiplied by ``slow_factor`` for the duration (a gray failure: page
+  cache loss, noisy neighbour, thermal throttling).
+
+Up-times are exponential with mean MTTF, repair times exponential with
+mean MTTR, each ``(shard, replica, kind)`` stream seeded independently
+so adding replicas never perturbs existing streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+CRASH = "crash"
+SLOW = "slow"
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Mean-time-to-failure/repair knobs for both fault processes.
+
+    ``None`` MTTF disables that fault kind entirely; the all-defaults
+    config injects nothing, so a fault-free cluster is the zero value.
+    """
+
+    crash_mttf_ns: Optional[float] = None
+    crash_mttr_ns: float = 2_000_000.0
+    slow_mttf_ns: Optional[float] = None
+    slow_mttr_ns: float = 2_000_000.0
+    #: Service-time multiplier while a replica is slow.
+    slow_factor: float = 4.0
+    seed: int = 0
+
+    def __post_init__(self):
+        for name in ("crash_mttf_ns", "slow_mttf_ns"):
+            value = getattr(self, name)
+            if value is not None and value <= 0.0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        for name in ("crash_mttr_ns", "slow_mttr_ns"):
+            if getattr(self, name) <= 0.0:
+                raise ValueError(
+                    f"{name} must be positive, got {getattr(self, name)}"
+                )
+        if self.slow_factor <= 1.0:
+            raise ValueError(
+                f"slow_factor must exceed 1, got {self.slow_factor}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.crash_mttf_ns is not None or self.slow_mttf_ns is not None
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: a replica fails at ``time_ns`` for ``duration_ns``."""
+
+    time_ns: float
+    kind: str  # CRASH or SLOW
+    shard: int
+    replica: int
+    duration_ns: float
+
+    @property
+    def recovery_ns(self) -> float:
+        return self.time_ns + self.duration_ns
+
+
+def _stream_rng(seed: int, shard: int, replica: int, kind: str) -> np.random.Generator:
+    """Independent generator per (seed, shard, replica, kind) stream."""
+    return np.random.default_rng(
+        (seed & (2**63 - 1), 0xFA017, shard, replica, 0 if kind == CRASH else 1)
+    )
+
+
+def _renewal_stream(
+    rng: np.random.Generator,
+    mttf_ns: float,
+    mttr_ns: float,
+    horizon_ns: float,
+) -> List[Tuple[float, float]]:
+    """(failure time, repair duration) pairs of one up/down renewal process."""
+    out: List[Tuple[float, float]] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(mttf_ns))
+        if t >= horizon_ns:
+            return out
+        duration = float(rng.exponential(mttr_ns))
+        out.append((t, duration))
+        t += duration
+
+
+def fault_schedule(
+    config: FaultConfig,
+    n_shards: int,
+    n_replicas: int,
+    horizon_ns: float,
+) -> List[FaultEvent]:
+    """Every fault hitting the cluster before ``horizon_ns``, time-ordered.
+
+    Pure function of its arguments: the schedule for (seed, topology,
+    horizon) is bit-identical across processes and runs.  Events are
+    sorted by ``(time, shard, replica, kind)`` so the order is stable
+    even for simultaneous faults.
+    """
+    if n_shards < 1 or n_replicas < 1:
+        raise ValueError(
+            f"need at least one shard and replica, got {n_shards}x{n_replicas}"
+        )
+    if horizon_ns <= 0.0:
+        raise ValueError(f"horizon must be positive, got {horizon_ns}")
+    events: List[FaultEvent] = []
+    for shard in range(n_shards):
+        for replica in range(n_replicas):
+            for kind, mttf, mttr in (
+                (CRASH, config.crash_mttf_ns, config.crash_mttr_ns),
+                (SLOW, config.slow_mttf_ns, config.slow_mttr_ns),
+            ):
+                if mttf is None:
+                    continue
+                rng = _stream_rng(config.seed, shard, replica, kind)
+                for t, duration in _renewal_stream(rng, mttf, mttr, horizon_ns):
+                    events.append(
+                        FaultEvent(
+                            time_ns=t,
+                            kind=kind,
+                            shard=shard,
+                            replica=replica,
+                            duration_ns=duration,
+                        )
+                    )
+    events.sort(key=lambda e: (e.time_ns, e.shard, e.replica, e.kind))
+    return events
+
+
+def downtime_fraction(
+    events: List[FaultEvent], n_shards: int, n_replicas: int, horizon_ns: float
+) -> float:
+    """Fraction of replica-time spent crashed (schedule-level, pre-routing)."""
+    down = sum(
+        min(e.recovery_ns, horizon_ns) - e.time_ns
+        for e in events
+        if e.kind == CRASH
+    )
+    return down / (horizon_ns * n_shards * n_replicas)

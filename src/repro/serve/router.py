@@ -1,0 +1,169 @@
+"""Request routing for the sharded cluster: shard lookup + replica choice.
+
+The router is the client-side half of the cluster simulator: it maps a
+key to its shard (binary search over the partition's lower bounds,
+exactly the fence-pointer lookup a real proxy does), picks a replica
+(least backlog among healthy replicas, ties to the lowest id -- the
+deterministic analogue of power-of-two-choices), and owns the failure
+policy: how long to wait before hedging a straggling request, how many
+attempts to make, and how the retry backoff grows.
+
+Everything here is pure data + pure functions; the event-loop side that
+*applies* the policy lives in :mod:`repro.serve.cluster`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class ShardMap:
+    """Key-range partitioning: shard ``i`` owns ``[lower_bounds[i], next)``.
+
+    ``lower_bounds`` must be strictly increasing; the first bound is the
+    notional start of the keyspace (keys below it still route to shard 0,
+    matching how a real fence-pointer table handles out-of-range keys).
+    """
+
+    def __init__(self, lower_bounds: Sequence[int]):
+        bounds = [int(b) for b in lower_bounds]
+        if not bounds:
+            raise ValueError("need at least one shard bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bounds must be strictly increasing: {bounds}")
+        self._bounds = bounds
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._bounds)
+
+    @property
+    def lower_bounds(self) -> List[int]:
+        return list(self._bounds)
+
+    def shard_for(self, key: int) -> int:
+        """Binary-search shard lookup (clamped below the first bound)."""
+        return max(bisect_right(self._bounds, int(key)) - 1, 0)
+
+    @classmethod
+    def from_keys(cls, keys: Sequence[int], n_shards: int) -> "ShardMap":
+        """Equal-count split of a sorted key array into ``n_shards`` ranges.
+
+        Duplicate boundary keys (possible on very skewed data) are nudged
+        upward so bounds stay strictly increasing; the resulting map still
+        covers every key.
+        """
+        if n_shards < 1:
+            raise ValueError(f"need at least one shard, got {n_shards}")
+        n = len(keys)
+        if n < n_shards:
+            raise ValueError(f"{n} keys cannot fill {n_shards} shards")
+        bounds: List[int] = []
+        for s in range(n_shards):
+            b = int(keys[(n * s) // n_shards])
+            if bounds and b <= bounds[-1]:
+                b = bounds[-1] + 1
+            bounds.append(b)
+        return cls(bounds)
+
+    @classmethod
+    def uniform(cls, lo: int, hi: int, n_shards: int) -> "ShardMap":
+        """Equal-width split of ``[lo, hi)``."""
+        if hi <= lo:
+            raise ValueError(f"empty keyspace [{lo}, {hi})")
+        if n_shards < 1:
+            raise ValueError(f"need at least one shard, got {n_shards}")
+        step = (hi - lo) // n_shards
+        if step < 1:
+            raise ValueError(f"keyspace [{lo}, {hi}) too small for {n_shards}")
+        return cls([lo + s * step for s in range(n_shards)])
+
+
+@dataclass(frozen=True)
+class RouterPolicy:
+    """Failure-handling knobs of the router.
+
+    The defaults are the *degenerate* policy -- no hedging, no batching
+    -- under which a 1-shard, 1-replica, fault-free cluster is
+    event-for-event identical to the single-node simulator (the
+    differential tests pin this).
+    """
+
+    #: Hedge a request to a second replica if it has not completed this
+    #: many nanoseconds after dispatch (None = hedging off).
+    hedge_after_ns: Optional[float] = None
+    #: Total attempts per request, counting the first dispatch.  A
+    #: request still incomplete after this many lost attempts fails and
+    #: counts against availability.
+    max_attempts: int = 4
+    #: Capped exponential backoff between retry attempts:
+    #: ``min(base * 2**(attempt - 1), cap)``.
+    backoff_base_ns: float = 100_000.0
+    backoff_cap_ns: float = 3_200_000.0
+    #: Group same-shard arrivals inside this window into one dispatch
+    #: batch (0 = dispatch each request immediately).
+    batch_window_ns: float = 0.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.hedge_after_ns is not None and self.hedge_after_ns <= 0.0:
+            raise ValueError(
+                f"hedge_after_ns must be positive, got {self.hedge_after_ns}"
+            )
+        if self.backoff_base_ns <= 0.0 or self.backoff_cap_ns <= 0.0:
+            raise ValueError("backoff base and cap must be positive")
+        if self.batch_window_ns < 0.0:
+            raise ValueError(
+                f"batch_window_ns must be >= 0, got {self.batch_window_ns}"
+            )
+
+    def backoff_ns(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based), capped."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return min(
+            self.backoff_base_ns * (2.0 ** (attempt - 1)), self.backoff_cap_ns
+        )
+
+
+def pick_replica(
+    replicas, exclude: Optional[int] = None
+):
+    """Least-backlog healthy replica, ties to the lowest id.
+
+    ``replicas`` is a sequence of objects exposing ``rid``, ``up`` and
+    ``backlog`` (the cluster's replica wrappers).  ``exclude`` skips one
+    replica id (hedges go to a *different* replica).  Returns None when
+    no healthy replica is available -- the caller then enters degraded
+    mode (backoff + retry until a replica recovers or attempts run out).
+    """
+    best = None
+    for r in replicas:
+        if not r.up or r.rid == exclude:
+            continue
+        if best is None or (r.backlog, r.rid) < (best.backlog, best.rid):
+            best = r
+    return best
+
+
+def request_keys(
+    keys: Sequence[int], n_requests: int, seed: int
+) -> List[int]:
+    """Seeded uniform sample of lookup keys for a cluster run.
+
+    Sampling from the served key array means shard load follows the
+    partition (equal-count split -> roughly balanced shards), while
+    still being a pure function of ``(keys, n, seed)``.
+    """
+    if n_requests < 1:
+        raise ValueError(f"need at least one request, got {n_requests}")
+    rng = np.random.default_rng((seed & (2**63 - 1), 0x50A7))
+    idx = rng.integers(0, len(keys), size=n_requests)
+    return [int(keys[i]) for i in idx]

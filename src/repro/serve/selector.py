@@ -13,7 +13,7 @@ candidate whose simulated p99 meets the SLO within the memory budget.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.serve.arrivals import poisson_arrivals
 from repro.serve.contention import MachineModel, saturation_throughput
@@ -50,6 +50,14 @@ class Selection:
         return [c for c in self.candidates if self._fits(c)]
 
     def _fits(self, c: Candidate) -> bool:
+        """Both SLO checks are *inclusive*: a candidate whose p99 equals
+        the SLO exactly, or whose footprint equals the memory budget
+        exactly, is eligible.  An SLO is a contract boundary -- "p99
+        within 1 ms" admits 1 ms -- and budgets likewise admit a
+        footprint that exactly fills them.  Pinned by a regression test
+        (``tests/test_serving.py::TestSelector::test_boundary_semantics``);
+        do not tighten to strict inequality.
+        """
         if c.summary.p99_ns > self.p99_slo_ns:
             return False
         if (
@@ -124,11 +132,31 @@ def select_under_slo(
         )
         for m in measurements
     ]
+    return selection_from_candidates(
+        candidates, offered_per_sec, p99_slo_ns, memory_budget_bytes
+    )
+
+
+def selection_from_candidates(
+    candidates: Sequence[Candidate],
+    offered_per_sec: float,
+    p99_slo_ns: float,
+    memory_budget_bytes: Optional[float] = None,
+) -> Selection:
+    """Pick from already-simulated candidates (the pure half of
+    :func:`select_under_slo`).
+
+    Separated so the decision rule can be property-tested without
+    running simulations: the winner is the eligible candidate with the
+    smallest memory footprint, ties broken on lower p99, then on
+    ``(index, sorted config)``.  The total order makes the outcome
+    invariant under any permutation of ``candidates``.
+    """
     selection = Selection(
         offered_per_sec=offered_per_sec,
         p99_slo_ns=p99_slo_ns,
         memory_budget_bytes=memory_budget_bytes,
-        candidates=candidates,
+        candidates=list(candidates),
         chosen=None,
     )
     eligible = selection.eligible()
@@ -140,6 +168,172 @@ def select_under_slo(
                 c.summary.p99_ns,
                 c.index,
                 sorted(c.config.items()),
+            ),
+        )
+    return selection
+
+
+@dataclass(frozen=True)
+class ClusterCandidate:
+    """One index family deployed across every shard of a cluster."""
+
+    index: str
+    per_shard_size_bytes: Tuple[int, ...]
+    summary: Optional[LatencySummary]
+    availability: float
+    total_retries: int
+    total_hedges: int
+    max_queue_depth: int
+
+    @property
+    def total_size_bytes(self) -> int:
+        return sum(self.per_shard_size_bytes)
+
+    @property
+    def max_shard_size_bytes(self) -> int:
+        return max(self.per_shard_size_bytes)
+
+    @property
+    def total_size_mb(self) -> float:
+        return self.total_size_bytes / (1024.0 * 1024.0)
+
+
+@dataclass
+class ClusterSelection:
+    """Outcome of one cluster-wide SLO sweep across index families.
+
+    Eligibility follows the same inclusive boundary semantics as
+    :class:`Selection` (``<=`` at the p99 SLO and at the per-shard
+    memory budget), plus an availability floor: under fault injection a
+    family must also complete at least ``min_availability`` of requests.
+    """
+
+    offered_per_sec: float
+    p99_slo_ns: float
+    shard_memory_budget_bytes: Optional[float]
+    min_availability: float
+    candidates: List[ClusterCandidate]
+    chosen: Optional[ClusterCandidate] = None
+
+    def eligible(self) -> List[ClusterCandidate]:
+        return [c for c in self.candidates if self._fits(c)]
+
+    def _fits(self, c: ClusterCandidate) -> bool:
+        if c.summary is None:
+            return False
+        if c.summary.p99_ns > self.p99_slo_ns:
+            return False
+        if (
+            self.shard_memory_budget_bytes is not None
+            and c.max_shard_size_bytes > self.shard_memory_budget_bytes
+        ):
+            return False
+        if c.availability < self.min_availability:
+            return False
+        return True
+
+
+def select_cluster_under_slo(
+    shard_measurements: Dict[str, Sequence],
+    shard_map,
+    keys: Sequence[int],
+    offered_per_sec: float,
+    p99_slo_ns: float,
+    shard_memory_budget_bytes: Optional[float] = None,
+    min_availability: float = 0.99,
+    n_requests: int = 2_000,
+    seed: int = 0,
+    n_replicas: int = 2,
+    n_cores: int = 2,
+    policy=None,
+    faults=None,
+    machine: MachineModel = MachineModel(),
+    fence: bool = False,
+    fault_horizon_ns: Optional[float] = None,
+) -> ClusterSelection:
+    """Cluster-aware ``select_under_slo``: cheapest index family that
+    meets the p99 SLO and the per-shard memory budget under faults.
+
+    ``shard_measurements`` maps each index family to its per-shard
+    measurements (one real harness build per shard, so sizes and service
+    times reflect the partitioned key counts).  Every family is
+    simulated against the *same* seeded arrivals, request keys, and
+    fault schedule, so the comparison isolates the index.  The winner is
+    the eligible family with the smallest total footprint; ties break on
+    lower p99, then family name.
+    """
+    # Imported lazily: cluster imports this module's ServiceModel host
+    # package, and keeping selector importable without cluster avoids a
+    # cycle at package-init time.
+    from repro.serve.cluster import Cluster, simulate_cluster
+    from repro.serve.router import RouterPolicy, request_keys
+
+    if policy is None:
+        policy = RouterPolicy()
+    arrivals = poisson_arrivals(offered_per_sec, n_requests, seed)
+    lookup_keys = request_keys(keys, n_requests, seed)
+    candidates: List[ClusterCandidate] = []
+    for family in sorted(shard_measurements):
+        per_shard = list(shard_measurements[family])
+        cluster = Cluster(
+            shard_map=shard_map,
+            services=[
+                ServiceModel.from_measurement(m, fence=fence, machine=machine)
+                for m in per_shard
+            ],
+            n_replicas=n_replicas,
+            n_cores=n_cores,
+            policy=policy,
+            faults=faults,
+        )
+        result = simulate_cluster(
+            cluster, arrivals, lookup_keys, fault_horizon_ns=fault_horizon_ns
+        )
+        summary = result.summary() if result.completed else None
+        result.to_metrics()
+        candidates.append(
+            ClusterCandidate(
+                index=family,
+                per_shard_size_bytes=tuple(m.size_bytes for m in per_shard),
+                summary=summary,
+                availability=result.availability,
+                total_retries=result.total_retries,
+                total_hedges=result.total_hedges,
+                max_queue_depth=result.max_queue_depth,
+            )
+        )
+    return cluster_selection_from_candidates(
+        candidates,
+        offered_per_sec,
+        p99_slo_ns,
+        shard_memory_budget_bytes,
+        min_availability,
+    )
+
+
+def cluster_selection_from_candidates(
+    candidates: Sequence[ClusterCandidate],
+    offered_per_sec: float,
+    p99_slo_ns: float,
+    shard_memory_budget_bytes: Optional[float] = None,
+    min_availability: float = 0.99,
+) -> ClusterSelection:
+    """Pure decision rule of :func:`select_cluster_under_slo`."""
+    selection = ClusterSelection(
+        offered_per_sec=offered_per_sec,
+        p99_slo_ns=p99_slo_ns,
+        shard_memory_budget_bytes=shard_memory_budget_bytes,
+        min_availability=min_availability,
+        candidates=list(candidates),
+    )
+    eligible = selection.eligible()
+    if eligible:
+        selection.chosen = min(
+            eligible,
+            key=lambda c: (
+                c.total_size_bytes,
+                c.summary.p99_ns,
+                c.index,
             ),
         )
     return selection

@@ -29,7 +29,7 @@ def test_cli_lists_all_paper_artifacts():
     assert paper_artifacts <= set(EXPERIMENTS)
     extras = set(EXPERIMENTS) - paper_artifacts
     # extension experiments are explicit
-    assert extras == {"ext1", "ext2", "ext3", "ext_serving"}
+    assert extras == {"ext1", "ext2", "ext3", "ext_serving", "ext_cluster"}
 
 
 @pytest.mark.parametrize("exp_id", ALL_IDS)

@@ -1,0 +1,199 @@
+"""Property-based tests for the selector's pure decision rules.
+
+Drives :func:`repro.serve.selector.selection_from_candidates` (and its
+cluster twin) with synthetic candidates -- no simulation -- so hypothesis
+can explore ties, boundary values, empty budgets, and permutations.
+
+Invariants pinned:
+
+* the chosen candidate is always eligible;
+* ``chosen is None`` iff no candidate is eligible;
+* the choice is invariant under any permutation of the candidate list;
+* boundary semantics are inclusive (p99 == SLO and size == budget are
+  both eligible).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.metrics import LatencySummary
+from repro.serve.selector import (
+    Candidate,
+    ClusterCandidate,
+    cluster_selection_from_candidates,
+    selection_from_candidates,
+)
+
+
+def summary(p99: float) -> LatencySummary:
+    return LatencySummary(
+        n=100,
+        mean_ns=p99 / 2.0,
+        p50_ns=p99 / 2.0,
+        p95_ns=p99 * 0.9,
+        p99_ns=p99,
+        p999_ns=p99 * 1.1,
+        max_ns=p99 * 1.2,
+        throughput_per_sec=1e6,
+    )
+
+
+# Small value pools on purpose: collisions (ties) are the interesting
+# cases, and tiny pools make hypothesis hit them constantly.
+sizes = st.integers(min_value=0, max_value=8).map(lambda k: k * 100)
+p99s = st.sampled_from([50.0, 100.0, 200.0, 400.0])
+names = st.sampled_from(["RMI", "PGM", "BTree", "ART"])
+availabilities = st.sampled_from([0.5, 0.9, 0.99, 1.0])
+
+candidates_st = st.lists(
+    st.builds(
+        Candidate,
+        index=names,
+        config=st.dictionaries(
+            st.sampled_from(["a", "b"]), st.integers(0, 3), max_size=2
+        ),
+        size_bytes=sizes,
+        saturation_per_sec=st.just(1e6),
+        summary=p99s.map(summary),
+    ),
+    max_size=8,
+)
+
+cluster_candidates_st = st.lists(
+    st.builds(
+        ClusterCandidate,
+        index=names,
+        per_shard_size_bytes=st.lists(
+            sizes, min_size=1, max_size=4
+        ).map(tuple),
+        summary=st.one_of(st.none(), p99s.map(summary)),
+        availability=availabilities,
+        total_retries=st.integers(0, 5),
+        total_hedges=st.integers(0, 5),
+        max_queue_depth=st.integers(0, 10),
+    ),
+    max_size=8,
+)
+
+slos = p99s
+budgets = st.one_of(st.none(), sizes.map(float))
+
+
+class TestSelectionFromCandidates:
+    @given(candidates_st, slos, budgets)
+    @settings(max_examples=200)
+    def test_chosen_is_eligible_or_none(self, cands, slo, budget):
+        sel = selection_from_candidates(cands, 1e6, slo, budget)
+        eligible = sel.eligible()
+        if sel.chosen is None:
+            assert eligible == []
+        else:
+            assert sel.chosen in eligible
+
+    @given(candidates_st, slos, budgets)
+    @settings(max_examples=200)
+    def test_none_iff_no_candidate_fits(self, cands, slo, budget):
+        sel = selection_from_candidates(cands, 1e6, slo, budget)
+        fits = [
+            c
+            for c in cands
+            if c.summary.p99_ns <= slo
+            and (budget is None or c.size_bytes <= budget)
+        ]
+        assert (sel.chosen is None) == (not fits)
+
+    @given(candidates_st, slos, budgets, st.randoms())
+    @settings(max_examples=200)
+    def test_invariant_under_permutation(self, cands, slo, budget, rnd):
+        baseline = selection_from_candidates(cands, 1e6, slo, budget)
+        shuffled = list(cands)
+        rnd.shuffle(shuffled)
+        permuted = selection_from_candidates(shuffled, 1e6, slo, budget)
+        assert baseline.chosen == permuted.chosen
+
+    @given(candidates_st, slos, budgets)
+    @settings(max_examples=200)
+    def test_chosen_minimizes_size_then_p99(self, cands, slo, budget):
+        sel = selection_from_candidates(cands, 1e6, slo, budget)
+        if sel.chosen is None:
+            return
+        for c in sel.eligible():
+            assert (sel.chosen.size_bytes, sel.chosen.summary.p99_ns) <= (
+                c.size_bytes,
+                c.summary.p99_ns,
+            )
+
+    @given(candidates_st, slos)
+    @settings(max_examples=100)
+    def test_zero_memory_budget_admits_only_zero_size(self, cands, slo):
+        sel = selection_from_candidates(cands, 1e6, slo, 0.0)
+        assert all(c.size_bytes == 0 for c in sel.eligible())
+
+    def test_exact_tie_resolved_deterministically(self):
+        twin = dict(size_bytes=100, saturation_per_sec=1e6,
+                    summary=summary(50.0))
+        a = Candidate(index="B", config={}, **twin)
+        b = Candidate(index="A", config={}, **twin)
+        sel = selection_from_candidates([a, b], 1e6, 100.0, None)
+        rev = selection_from_candidates([b, a], 1e6, 100.0, None)
+        assert sel.chosen == rev.chosen
+        assert sel.chosen.index == "A"  # name breaks the exact tie
+
+
+class TestClusterSelectionFromCandidates:
+    @given(cluster_candidates_st, slos, budgets, availabilities)
+    @settings(max_examples=200)
+    def test_chosen_is_eligible_or_none(self, cands, slo, budget, floor):
+        sel = cluster_selection_from_candidates(
+            cands, 1e6, slo, budget, floor
+        )
+        eligible = sel.eligible()
+        if sel.chosen is None:
+            assert eligible == []
+        else:
+            assert sel.chosen in eligible
+            assert sel.chosen.summary is not None
+            assert sel.chosen.summary.p99_ns <= slo
+            assert sel.chosen.availability >= floor
+            if budget is not None:
+                assert sel.chosen.max_shard_size_bytes <= budget
+
+    @given(cluster_candidates_st, slos, budgets, availabilities,
+           st.randoms())
+    @settings(max_examples=200)
+    def test_invariant_under_permutation(
+        self, cands, slo, budget, floor, rnd
+    ):
+        baseline = cluster_selection_from_candidates(
+            cands, 1e6, slo, budget, floor
+        )
+        shuffled = list(cands)
+        rnd.shuffle(shuffled)
+        permuted = cluster_selection_from_candidates(
+            shuffled, 1e6, slo, budget, floor
+        )
+        assert baseline.chosen == permuted.chosen
+
+    @given(cluster_candidates_st, slos, budgets)
+    @settings(max_examples=100)
+    def test_unsimulated_candidates_never_chosen(self, cands, slo, budget):
+        sel = cluster_selection_from_candidates(cands, 1e6, slo, budget, 0.0)
+        assert all(c.summary is not None for c in sel.eligible())
+
+    @given(cluster_candidates_st, slos, budgets, availabilities)
+    @settings(max_examples=200)
+    def test_chosen_minimizes_total_size_then_p99(
+        self, cands, slo, budget, floor
+    ):
+        sel = cluster_selection_from_candidates(
+            cands, 1e6, slo, budget, floor
+        )
+        if sel.chosen is None:
+            return
+        for c in sel.eligible():
+            assert (
+                sel.chosen.total_size_bytes,
+                sel.chosen.summary.p99_ns,
+            ) <= (c.total_size_bytes, c.summary.p99_ns)

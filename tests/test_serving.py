@@ -295,6 +295,49 @@ class TestSelector:
         assert a.chosen == b.chosen
         assert a.candidates == b.candidates
 
+    def test_boundary_semantics(self):
+        """A candidate exactly at the p99 SLO and exactly at the memory
+        budget is eligible: both checks are inclusive (<=).
+
+        This pins the contract documented on ``Selection._fits`` -- an
+        SLO of "p99 within 1 ms" admits 1 ms, and a budget admits a
+        footprint that exactly fills it.  Regression guard against
+        accidentally tightening either comparison to strict inequality.
+        """
+        from repro.serve.metrics import LatencySummary
+        from repro.serve.selector import Candidate, selection_from_candidates
+
+        p99 = 750.0
+        size = 4_096
+        summary = LatencySummary(
+            n=100, mean_ns=400.0, p50_ns=380.0, p95_ns=600.0,
+            p99_ns=p99, p999_ns=900.0, max_ns=1_000.0,
+            throughput_per_sec=1e6,
+        )
+        at_boundary = Candidate(
+            index="Edge", config={}, size_bytes=size,
+            saturation_per_sec=1e6, summary=summary,
+        )
+        sel = selection_from_candidates(
+            [at_boundary],
+            offered_per_sec=1e6,
+            p99_slo_ns=p99,  # exactly at the SLO
+            memory_budget_bytes=float(size),  # exactly at the budget
+        )
+        assert sel.eligible() == [at_boundary]
+        assert sel.chosen == at_boundary
+        # One ulp past either boundary is ineligible.
+        import math
+
+        over_slo = selection_from_candidates(
+            [at_boundary], 1e6, math.nextafter(p99, 0.0), float(size)
+        )
+        assert over_slo.chosen is None
+        over_budget = selection_from_candidates(
+            [at_boundary], 1e6, p99, math.nextafter(size, 0.0)
+        )
+        assert over_budget.chosen is None
+
     def test_candidate_summaries_are_latency_summaries(self):
         fleet = self.fleet()
         sel = select_under_slo(
