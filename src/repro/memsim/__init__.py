@@ -35,6 +35,7 @@ from repro.memsim.engine import (
     make_engine,
 )
 from repro.memsim.trace import Trace, TraceRecorder, TraceStore
+from repro.memsim.vector import VectorEngine
 from repro.memsim.memory import AddressSpace, TracedArray
 from repro.memsim.costmodel import CostModel, XEON_GOLD_6230
 
@@ -50,6 +51,7 @@ __all__ = [
     "ENGINE_NAMES",
     "FastEngine",
     "ReferenceEngine",
+    "VectorEngine",
     "SiteInterner",
     "default_engine_name",
     "make_engine",

@@ -40,7 +40,7 @@ from repro.memsim.counters import PerfCounters
 from repro.memsim.tlb import PAGE_SHIFT, TLB
 
 #: Engine names accepted by :func:`make_engine` and ``REPRO_MEMSIM_ENGINE``.
-ENGINE_NAMES = ("reference", "fast")
+ENGINE_NAMES = ("reference", "fast", "vector")
 
 _ENV_VAR = "REPRO_MEMSIM_ENGINE"
 
@@ -448,6 +448,34 @@ def _build_fast_engine(l1, l2, l3, tlb_entries, interner):
     def n_branch_sites():
         return sum(1 for s in bst if s >= 0)
 
+    # -- state hooks for the vector engine --------------------------------
+    #
+    # The vector replay path (repro.memsim.vector) reuses this namespace's
+    # mutable structures directly and runs its own batch loop over them.
+    # Lists/dicts are shared by reference; the scalar counters and the
+    # MRU shortcuts travel through the getter/setter pair because they
+    # are closure nonlocals.
+
+    def _structs():
+        return (
+            l1_sets, n1, l2_sets, n2, l3_sets, n3,
+            tlb1, tlb1_cap, tlb2, tlb2_cap, bst,
+        )
+
+    def _get_hot():
+        return (
+            instr_c, br_c, brm_c, reads_c,
+            l1h, l2h, l3h, llc, tlbm, ultra_line, mru_page,
+        )
+
+    def _set_hot(values):
+        nonlocal instr_c, br_c, brm_c, reads_c
+        nonlocal l1h, l2h, l3h, llc, tlbm, ultra_line, mru_page
+        (
+            instr_c, br_c, brm_c, reads_c,
+            l1h, l2h, l3h, llc, tlbm, ultra_line, mru_page,
+        ) = values
+
     def replay(trace):
         # Fully inlined batch loop over a recorded event stream.  The
         # counters are mirrored into locals and written back in
@@ -611,6 +639,9 @@ def _build_fast_engine(l1, l2, l3, tlb_entries, interner):
         "flush_caches": flush_caches,
         "replay": replay,
         "n_branch_sites": n_branch_sites,
+        "_structs": _structs,
+        "_get_hot": _get_hot,
+        "_set_hot": _set_hot,
     }
 
 
@@ -632,12 +663,18 @@ def make_engine(
         return ReferenceEngine(
             caches=caches, predictor=predictor, tlb=tlb, sites=sites
         )
-    if name == "fast":
+    if name in ("fast", "vector"):
         if caches is not None or predictor is not None or tlb is not None:
             raise ValueError(
                 "custom cache/predictor/TLB objects require "
-                "engine='reference' (the fast engine only supports "
-                "geometry parameters)"
+                "engine='reference' (the fast and vector engines only "
+                "support geometry parameters)"
             )
-        return FastEngine(sites=sites)
+        if name == "fast":
+            return FastEngine(sites=sites)
+        # Imported lazily: vector.py imports this module for the fast
+        # namespace it builds on.
+        from repro.memsim.vector import VectorEngine
+
+        return VectorEngine(sites=sites)
     raise ValueError(f"unknown memsim engine {name!r}: expected {ENGINE_NAMES}")

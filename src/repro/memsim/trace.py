@@ -56,13 +56,17 @@ class Trace:
     ``count`` one-byte reads of ``addr`` -- both are exact.
     """
 
-    __slots__ = ("kinds", "a", "b", "_lists")
+    __slots__ = ("kinds", "a", "b", "_lists", "_plan")
 
     def __init__(self, kinds, a, b):
         self.kinds = np.asarray(kinds, dtype=np.uint8)
         self.a = np.asarray(a, dtype=np.int64)
         self.b = np.asarray(b, dtype=np.int64)
         self._lists: Optional[Tuple[list, list, list]] = None
+        #: Compiled form for the vector engine (repro.memsim.vector),
+        #: built lazily on first vectorized replay.  A trace is
+        #: immutable, so the plan never invalidates.
+        self._plan = None
 
     def __len__(self) -> int:
         return len(self.kinds)
@@ -161,10 +165,18 @@ class TraceRecorder(Tracer):
 class TraceStore:
     """Keyed trace cache with a shared interner and an event budget.
 
-    The budget caps resident trace memory (~17 bytes/event): once
-    exceeded, :meth:`put` declines and the harness simply keeps
-    executing those lookups directly -- replay is an optimization, never
-    a requirement.
+    The budget caps resident trace memory (~17 bytes/event).  Two
+    full-budget policies, both of which keep ``events <= max_events`` at
+    all times:
+
+    * ``evict=False`` (default): :meth:`put` declines and the harness
+      simply keeps executing those lookups directly -- replay is an
+      optimization, never a requirement.
+    * ``evict=True``: :meth:`put` deterministically evicts the oldest
+      resident traces (FIFO in insertion order) until the newcomer fits.
+      A trace larger than the whole budget is still declined -- eviction
+      never helps it fit, so emptying the store for it would be pure
+      loss.
     """
 
     #: ~4M events is ~70 MB of typed arrays -- far beyond any default
@@ -174,10 +186,12 @@ class TraceStore:
     __slots__ = (
         "sites",
         "max_events",
+        "evict",
         "events",
         "hits",
         "misses",
         "rejects",
+        "evictions",
         "_traces",
     )
 
@@ -185,14 +199,18 @@ class TraceStore:
         self,
         sites: Optional[SiteInterner] = None,
         max_events: int = DEFAULT_MAX_EVENTS,
+        evict: bool = False,
     ):
         self.sites = sites if sites is not None else SiteInterner()
         self.max_events = max_events
+        self.evict = evict
         self.events = 0
         self.hits = 0
         self.misses = 0
         #: Traces declined by :meth:`put` because the budget was full.
         self.rejects = 0
+        #: Traces evicted to make room (``evict=True`` only).
+        self.evictions = 0
         self._traces: Dict[object, Tuple[Trace, object]] = {}
 
     def get(self, key) -> Optional[Tuple[Trace, object]]:
@@ -204,12 +222,20 @@ class TraceStore:
         return entry
 
     def put(self, key, trace: Trace, meta=None) -> bool:
-        """Store a trace; False (and drop it) if over the event budget."""
+        """Store a trace; False (and drop it) if it cannot be admitted."""
         if key in self._traces:
             return True
         if self.events + len(trace) > self.max_events:
-            self.rejects += 1
-            return False
+            if not self.evict or len(trace) > self.max_events:
+                self.rejects += 1
+                return False
+            # Dicts iterate in insertion order, so dropping from the
+            # front is FIFO -- fully determined by the put sequence.
+            while self.events + len(trace) > self.max_events:
+                old_key = next(iter(self._traces))
+                old_trace, _ = self._traces.pop(old_key)
+                self.events -= len(old_trace)
+                self.evictions += 1
         self._traces[key] = (trace, meta)
         self.events += len(trace)
         return True

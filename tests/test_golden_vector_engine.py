@@ -1,0 +1,86 @@
+"""The committed golden grids must pass unchanged under the vector engine.
+
+Same end-to-end guarantee as ``test_golden_fast_engine.py``, one engine
+further along: the vector engine's batched measure path (kernel-
+synthesized event streams, compiled trace plans, replay memoization)
+reproduces the exact pre-engine golden counters.  The measurement-cache
+key still excludes the engine -- all engines are the same measurement --
+so a cache entry written under any engine is valid under ``vector`` and
+vice versa.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench.cache import cache_key
+from repro.bench.config import BenchSettings
+from repro.bench.experiments import common, fig16_multithread
+from test_golden_regression import GOLDEN, assert_matches_golden, cell_of
+
+HERE = os.path.dirname(__file__)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_memo():
+    common.set_active_cache(None)
+    common.clear_caches()
+    yield
+    common.clear_caches()
+
+
+class TestGoldenGridUnderVectorEngine:
+    @pytest.mark.parametrize(
+        "record",
+        GOLDEN,
+        ids=[
+            f"{r['index']}-{r['dataset']}-{r['key_bits']}bit" for r in GOLDEN
+        ],
+    )
+    def test_explicit_vector_engine_matches_golden(self, record):
+        assert_matches_golden(cell_of(record).run(engine="vector"), record)
+
+    def test_env_selected_vector_engine_matches_golden(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMSIM_ENGINE", "vector")
+        record = GOLDEN[0]
+        assert_matches_golden(cell_of(record).run(), record)
+
+    def test_repeat_run_hits_replay_memo_and_matches(self):
+        """Back-to-back runs reuse cached batches/plans/memos exactly."""
+        record = GOLDEN[0]
+        cell = cell_of(record)
+        assert_matches_golden(cell.run(engine="vector"), record)
+        assert_matches_golden(cell.run(engine="vector"), record)
+
+
+class TestFig16GoldenUnderVectorEngine:
+    def test_fig16_report_is_byte_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMSIM_ENGINE", "vector")
+        golden_path = os.path.join(HERE, "data", "golden_fig16.txt")
+        with open(golden_path) as f:
+            golden = f.read()
+        settings = BenchSettings(
+            n_keys=3_000,
+            n_lookups=60,
+            warmup=30,
+            max_configs=2,
+            datasets=["amzn", "osm"],
+        )
+        assert fig16_multithread.run(settings) == golden
+
+
+class TestCacheKeyExcludesEngine:
+    def test_key_fields_have_no_engine(self):
+        fields = cell_of(GOLDEN[0]).key_fields()
+        assert "engine" not in json.dumps(fields)
+
+    @pytest.mark.parametrize("name", ["fast", "vector"])
+    def test_cache_key_invariant_under_engine_env(self, monkeypatch, name):
+        cell = cell_of(GOLDEN[0])
+        monkeypatch.setenv("REPRO_MEMSIM_ENGINE", "reference")
+        key_ref = cache_key(cell)
+        monkeypatch.setenv("REPRO_MEMSIM_ENGINE", name)
+        assert cache_key(cell) == key_ref

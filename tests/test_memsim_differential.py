@@ -1,15 +1,17 @@
-"""Differential suite: the fast engine IS the reference engine, counter-wise.
+"""Differential suite: every engine IS the reference engine, counter-wise.
 
-Hypothesis drives random read/instr/branch/flush streams through both
-engines and asserts byte-identical :class:`PerfCounters` -- not just at
-the end, but at every intermediate snapshot.  Streams mix tight spatial
-locality (repeated lines and pages, the fast paths' home turf) with
-scattered addresses (eviction pressure), because the fast engine's
-shortcuts are exactly the places where a subtle state divergence would
-hide.
+Hypothesis drives random read/instr/branch/flush streams through all
+engines (reference, fast, vector) and asserts byte-identical
+:class:`PerfCounters` -- not just at the end, but at every intermediate
+snapshot.  Streams mix tight spatial locality (repeated lines and
+pages, the fast paths' home turf) with scattered addresses (eviction
+pressure), because the engines' shortcuts are exactly the places where
+a subtle state divergence would hide.
 
 The same property is asserted for record-replay: replaying a recorded
-stream must equal executing it directly, on either engine.
+stream must equal executing it directly, on any engine -- including
+repeat replays of the *same* trace objects, which exercise the vector
+engine's compiled plans and replay memoization.
 """
 
 from __future__ import annotations
@@ -22,13 +24,19 @@ from hypothesis import strategies as st
 from repro.memsim import (
     Cache,
     CacheHierarchy,
+    ENGINE_NAMES,
     PerfTracer,
     SiteInterner,
     TraceRecorder,
+    VectorEngine,
     make_engine,
 )
 from repro.memsim.engine import FastEngine
 from repro.memsim.tlb import TLB
+from repro.memsim.trace import K_REPEAT
+
+#: The engines differentially tested against the reference.
+_ALT_ENGINES = tuple(n for n in ENGINE_NAMES if n != "reference")
 
 _SITES = ["bs.cmp", "btree.descend", "rmi.clamp", "loop"]
 
@@ -83,17 +91,14 @@ def _drive(tracer, events):
 
 @given(_events())
 @settings(max_examples=150, deadline=None)
-def test_fast_engine_is_counter_identical(events):
-    ref = PerfTracer(engine="reference")
-    fast = PerfTracer(engine="fast")
-    assert _drive(ref, events) == _drive(fast, events)
+def test_engines_are_counter_identical(events):
+    ref_snaps = _drive(PerfTracer(engine="reference"), events)
+    for name in _ALT_ENGINES:
+        assert _drive(PerfTracer(engine=name), events) == ref_snaps, name
 
 
-@given(_events())
-@settings(max_examples=60, deadline=None)
-def test_fast_engine_identical_under_tiny_geometry(events):
-    """Small caches/TLBs put every access on the eviction paths."""
-    ref = PerfTracer(
+def _tiny_reference():
+    return PerfTracer(
         caches=CacheHierarchy(
             l1=Cache(2 * 64, 2, "L1"),
             l2=Cache(8 * 64, 2, "L2"),
@@ -101,18 +106,44 @@ def test_fast_engine_identical_under_tiny_geometry(events):
         ),
         tlb=TLB(l1_entries=2, l2_entries=4),
     )
-    fast = PerfTracer(
-        engine=FastEngine(
-            l1=(2 * 64, 2), l2=(8 * 64, 2), l3=(16 * 64, 4), tlb_entries=(2, 4)
-        )
+
+
+_TINY_KW = dict(
+    l1=(2 * 64, 2), l2=(8 * 64, 2), l3=(16 * 64, 4), tlb_entries=(2, 4)
+)
+
+
+@given(_events())
+@settings(max_examples=60, deadline=None)
+def test_engines_identical_under_tiny_geometry(events):
+    """Small caches/TLBs put every access on the eviction paths."""
+    ref_snaps = _drive(_tiny_reference(), events)
+    for eng in (FastEngine(**_TINY_KW), VectorEngine(**_TINY_KW)):
+        assert _drive(PerfTracer(engine=eng), events) == ref_snaps, eng.name
+
+
+@given(_events())
+@settings(max_examples=40, deadline=None)
+def test_engines_identical_under_degenerate_geometry(events):
+    """1-set/1-way caches and a 1-entry TLB: everything evicts, always."""
+    ref = PerfTracer(
+        caches=CacheHierarchy(
+            l1=Cache(64, 1, "L1"),
+            l2=Cache(2 * 64, 2, "L2"),
+            l3=Cache(4 * 64, 4, "L3"),
+        ),
+        tlb=TLB(l1_entries=1, l2_entries=1),
     )
-    assert _drive(ref, events) == _drive(fast, events)
+    kw = dict(l1=(64, 1), l2=(2 * 64, 2), l3=(4 * 64, 4), tlb_entries=(1, 1))
+    ref_snaps = _drive(ref, events)
+    for eng in (FastEngine(**kw), VectorEngine(**kw)):
+        assert _drive(PerfTracer(engine=eng), events) == ref_snaps, eng.name
 
 
 @given(_events())
 @settings(max_examples=60, deadline=None)
 def test_replay_equals_direct_execution(events):
-    """Record through a recorder, replay on fresh engines of both kinds."""
+    """Record through a recorder, replay on fresh engines of every kind."""
     sites = SiteInterner()
     recorder = TraceRecorder(sites=sites)
     # Flushes and snapshots are measurement-loop concerns, not lookup
@@ -125,44 +156,117 @@ def test_replay_equals_direct_execution(events):
     _apply(direct, stream)
     expected = direct.snapshot()
 
-    for name in ("reference", "fast"):
+    for name in ENGINE_NAMES:
+        t = PerfTracer(engine=name, sites=sites)
+        t.replay(trace)
+        assert t.snapshot() == expected, name
+        # A second fresh engine replaying the same trace object takes
+        # the vector engine's memoized path; still byte-identical.
+        t2 = PerfTracer(engine=name, sites=sites)
+        t2.replay(trace)
+        assert t2.snapshot() == expected, name
+
+
+@given(_events(), _events())
+@settings(max_examples=40, deadline=None)
+def test_replay_composes_with_live_events(events, events2):
+    """Interleaving replays with direct calls keeps engines in lockstep."""
+    stream = [e for e in events if e[0] in ("read", "branch", "instr")]
+    stream2 = [e for e in events2 if e[0] in ("read", "branch", "instr")]
+    sites = SiteInterner()
+    recorder = TraceRecorder(sites=sites)
+    _apply(recorder, stream)
+    trace = recorder.finish()
+    recorder2 = TraceRecorder(sites=sites)
+    _apply(recorder2, stream2)
+    trace2 = recorder2.finish()
+
+    results = []
+    for name in ENGINE_NAMES:
+        t = PerfTracer(engine=name, sites=sites)
+        t.replay(trace)  # from pristine state (vector: memoizable)
+        snaps = [t.snapshot()]
+        t.replay(trace2)  # chained replay (vector: token chain)
+        snaps.append(t.snapshot())
+        _apply(t, stream)  # live events invalidate any memo token...
+        t.replay(trace)  # ...so this replays against warmed state
+        snaps.append(t.snapshot())
+        t.flush_caches()
+        t.replay(trace)  # and again from cold (vector: flushed token)
+        t.flush_caches()
+        t.replay(trace)
+        snaps.append(t.snapshot())
+        results.append(snaps)
+    for name, snaps in zip(ENGINE_NAMES[1:], results[1:]):
+        assert snaps == results[0], name
+
+
+@given(st.integers(1, 9), st.integers(0, 64), st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_repeat_compression_boundaries(run_len, offset, branch_between):
+    """K_REPEAT runs -- across instr/branch gaps and page boundaries.
+
+    A repeated same-line read run-length-compresses into one K_REPEAT
+    event; a read on a different line (here: across the page boundary)
+    must break the run.  Replay of the compressed trace is exact on
+    every engine.
+    """
+    sites = SiteInterner()
+    recorder = TraceRecorder(sites=sites)
+    stream = [("read", 0, offset, 8)]
+    for _ in range(run_len):
+        stream.append(("read", 0, offset, 1))
+        if branch_between:
+            stream.append(("branch", "loop", True))
+            stream.append(("instr", 2))
+    # Same line again, then break the run across the page boundary.
+    stream.append(("read", 0, offset, 1))
+    stream.append(("read", 4096 - 32, 0, 64))
+    stream.append(("read", 0, offset, 1))
+    _apply(recorder, stream)
+    trace = recorder.finish()
+    assert K_REPEAT in trace.kinds.tolist()
+
+    direct = PerfTracer(engine="reference", sites=sites)
+    _apply(direct, stream)
+    expected = direct.snapshot()
+    for name in ENGINE_NAMES:
         t = PerfTracer(engine=name, sites=sites)
         t.replay(trace)
         assert t.snapshot() == expected, name
 
 
-@given(_events())
-@settings(max_examples=40, deadline=None)
-def test_replay_composes_with_live_events(events):
-    """Interleaving replay with direct calls keeps engines in lockstep."""
-    stream = [e for e in events if e[0] in ("read", "branch", "instr")]
+def test_vector_replay_resolves_leading_repeat_against_live_state():
+    """A trace whose first read repeats the engine's MRU line.
+
+    The vector plan cannot classify the first read at compile time (it
+    depends on the replaying engine's state), so it is resolved at
+    replay time -- both ways.
+    """
     sites = SiteInterner()
     recorder = TraceRecorder(sites=sites)
-    _apply(recorder, stream)
+    _apply(recorder, [("read", 4096, 0, 8), ("read", 4096, 8, 8)])
     trace = recorder.finish()
-
-    results = []
-    for name in ("reference", "fast"):
-        t = PerfTracer(engine=name, sites=sites)
-        _apply(t, stream)  # warm state directly...
-        t.replay(trace)  # ...then replay the same stream on top
-        t.flush_caches()
-        t.replay(trace)  # ...and again from cold
-        results.append(t.snapshot())
-    assert results[0] == results[1]
+    for warm_addr in (4096, 1 << 20):  # MRU-matching and not
+        snaps = []
+        for name in ENGINE_NAMES:
+            t = PerfTracer(engine=name, sites=sites)
+            t.read(warm_addr, 8)
+            t.replay(trace)
+            snaps.append(t.snapshot())
+        assert snaps[1] == snaps[0] and snaps[2] == snaps[0], warm_addr
 
 
 def test_branch_site_count_matches_across_engines():
     events = [("branch", s, t) for s in _SITES for t in (True, False, True)]
-    ref = make_engine("reference")
-    fast = make_engine("fast")
+    engines = [make_engine(name) for name in ENGINE_NAMES]
     for _, site, taken in events:
-        ref.branch(site, taken)
-        fast.branch(site, taken)
-    assert ref.n_branch_sites() == fast.n_branch_sites() == len(_SITES)
+        for e in engines:
+            e.branch(site, taken)
+    assert {e.n_branch_sites() for e in engines} == {len(_SITES)}
 
 
-@pytest.mark.parametrize("engine", ["reference", "fast"])
+@pytest.mark.parametrize("engine", list(ENGINE_NAMES))
 def test_multiline_and_page_crossing_reads(engine):
     """Deterministic spot-check: a read spanning lines and pages."""
     t = PerfTracer(engine=engine)
