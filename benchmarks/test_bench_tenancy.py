@@ -1,0 +1,138 @@
+"""ext_tenants companion: wall-clock speed of the tenancy layer.
+
+Besides the usual pytest-benchmark timings, this module distils two
+headline rates into ``BENCH_tenancy.json`` — ``tenant_requests_per_sec``
+(mixed-tenant requests through trace merge, admission control and the
+cluster event loop, end to end) and ``trace_merge_requests_per_sec``
+(building the merged mixed-tenant-day trace from a scenario spec) — so
+CI can track a perf trajectory for the multi-tenant serving subsystem.
+Set ``BENCH_TENANCY_JSON`` to redirect the output path (defaults to the
+repo root).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import measure_index
+from repro.serve import (
+    AdmissionSpec,
+    ArrivalSpec,
+    KeySpaceSpec,
+    ScenarioSpec,
+    ServiceModel,
+    TenantSpec,
+    TenantTrace,
+    TopologySpec,
+    simulate_scenario,
+    throughput,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+N_SHARDS = 4
+N_REPLICAS = 2
+
+#: Filled by the benchmarks below, written out once the module finishes.
+_RATES = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_tenancy_json():
+    yield
+    if not _RATES:  # e.g. --benchmark-disable: no stats to record
+        return
+    path = os.environ.get("BENCH_TENANCY_JSON") or os.path.join(
+        REPO_ROOT, "BENCH_tenancy.json"
+    )
+    with open(path, "w") as f:
+        json.dump(_RATES, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+@pytest.fixture(scope="module")
+def serve_setup(amzn, workload):
+    m = measure_index(amzn, workload, "RMI", {"branching": 512}, n_lookups=150)
+    services = [ServiceModel(m.counters) for _ in range(N_SHARDS)]
+    rate = 0.6 * N_SHARDS * throughput(m, 2).lookups_per_sec
+    return services, np.asarray(amzn.keys), rate
+
+
+def mixed_spec(rate: float, n_requests: int) -> ScenarioSpec:
+    """A three-class day: diurnal gold, bursty silver, flash bronze,
+    with admission control on -- the shape ext_tenants exercises."""
+    shares = (n_requests // 2, n_requests // 4, n_requests // 4)
+    return ScenarioSpec(
+        name="bench-day",
+        tenants=(
+            TenantSpec(
+                name="gold",
+                slo_class="gold",
+                arrivals=ArrivalSpec(
+                    rate_per_sec=0.5 * rate,
+                    n_requests=shares[0],
+                    seed=101,
+                    shape="diurnal",
+                ),
+                keyspace=KeySpaceSpec(seed=101),
+            ),
+            TenantSpec(
+                name="silver",
+                slo_class="silver",
+                arrivals=ArrivalSpec(
+                    rate_per_sec=0.25 * rate,
+                    n_requests=shares[1],
+                    seed=202,
+                    shape="bursty",
+                ),
+                keyspace=KeySpaceSpec(lo_frac=0.5, hi_frac=1.0, seed=202),
+            ),
+            TenantSpec(
+                name="bronze",
+                slo_class="bronze",
+                arrivals=ArrivalSpec(
+                    rate_per_sec=0.25 * rate,
+                    n_requests=shares[2],
+                    seed=303,
+                    shape="flash",
+                ),
+                keyspace=KeySpaceSpec(
+                    hi_frac=0.5, hot_theta=0.99, seed=303
+                ),
+            ),
+        ),
+        topology=TopologySpec(
+            n_shards=N_SHARDS, n_replicas=N_REPLICAS, n_cores=2
+        ),
+        admission=AdmissionSpec(
+            enabled=True, bronze_depth=6, silver_depth=18
+        ),
+    )
+
+
+def test_scenario_simulation(benchmark, serve_setup):
+    """A full mixed-tenant scenario: merge, admit, simulate, split."""
+    services, keys, rate = serve_setup
+    spec = mixed_spec(rate, 2_000)
+    result = benchmark(simulate_scenario, spec, services, keys)
+    assert result.admitted + result.total_shed == spec.n_requests
+    if benchmark.stats is not None:
+        _RATES["tenant_requests_per_sec"] = (
+            spec.n_requests / benchmark.stats.stats.mean
+        )
+
+
+def test_trace_merge(benchmark, serve_setup):
+    """Building the merged mixed-tenant-day trace from the spec."""
+    _, keys, rate = serve_setup
+    spec = mixed_spec(rate, 2_000)
+    trace = benchmark(TenantTrace.from_spec, spec, keys)
+    assert len(trace) == spec.n_requests
+    if benchmark.stats is not None:
+        _RATES["trace_merge_requests_per_sec"] = (
+            len(trace) / benchmark.stats.stats.mean
+        )

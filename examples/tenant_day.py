@@ -1,0 +1,169 @@
+"""A mixed-tenant day: declarative scenarios, load shedding, replay.
+
+One cluster, three tenants, one JSON document.  This example builds a
+real index per shard, declares a scenario spec -- a gold tenant with a
+diurnal (sinusoidal) day and a p99 SLO, a silver tenant with bursty
+traffic over the upper half of the key space, and a bronze tenant whose
+flash crowd hammers a Zipfian hotspot -- and runs it twice through the
+multi-tenant serving layer (repro.serve.tenancy):
+
+1. admission control OFF -- the bronze flash crowd queues behind gold
+   and destroys its p99;
+2. admission control ON -- bronze is shed at a shard-backlog threshold,
+   gold's p99 returns inside its SLO.
+
+Then the record-replay half: the merged tenant day is serialized,
+reloaded, and replayed byte-identically -- every run is a pure function
+of (spec, trace), and the spec itself round-trips through JSON.
+
+Run:  python examples/tenant_day.py
+"""
+
+from repro import make_dataset, make_workload
+from repro.bench import measure_index
+from repro.serve import (
+    AdmissionSpec,
+    ArrivalSpec,
+    KeySpaceSpec,
+    ScenarioSpec,
+    ServiceModel,
+    TenantSpec,
+    TenantTrace,
+    TopologySpec,
+    replay_trace,
+    simulate_scenario,
+    throughput,
+)
+
+N_SHARDS = 2
+N_CORES = 2
+SEED = 0
+
+
+def main() -> None:
+    dataset = make_dataset("amzn", 20_000, seed=SEED)
+
+    # One real index build per shard, as in examples/cluster_failover.py.
+    services = []
+    slowest_ns = 0.0
+    capacity = 0.0
+    for shard in range(N_SHARDS):
+        shard_ds = make_dataset(
+            "amzn", len(dataset.keys) // N_SHARDS, seed=SEED + shard + 1
+        )
+        workload = make_workload(shard_ds, 400, seed=SEED + shard + 1)
+        m = measure_index(
+            shard_ds, workload, "RMI", {"branching": 256}, n_lookups=200
+        )
+        service = ServiceModel.from_measurement(m)
+        services.append(service)
+        slowest_ns = max(slowest_ns, service.service_ns(N_CORES))
+        capacity += throughput(m, N_CORES).lookups_per_sec
+        print(
+            f"shard {shard}: RMI branching=256  "
+            f"{m.latency_ns:6.0f} ns  {m.size_mb:.4f} MB"
+        )
+
+    offered = 0.6 * capacity
+    gold_slo_ns = 10.0 * slowest_ns
+
+    def day(admission: AdmissionSpec) -> ScenarioSpec:
+        return ScenarioSpec(
+            name="tenant-day",
+            tenants=(
+                TenantSpec(
+                    name="gold",
+                    slo_class="gold",
+                    p99_slo_ns=gold_slo_ns,
+                    arrivals=ArrivalSpec(
+                        rate_per_sec=0.5 * offered,
+                        n_requests=800,
+                        seed=SEED + 101,
+                        shape="diurnal",
+                    ),
+                    keyspace=KeySpaceSpec(seed=SEED + 101),
+                ),
+                TenantSpec(
+                    name="silver",
+                    slo_class="silver",
+                    arrivals=ArrivalSpec(
+                        rate_per_sec=0.2 * offered,
+                        n_requests=400,
+                        seed=SEED + 202,
+                        shape="bursty",
+                    ),
+                    keyspace=KeySpaceSpec(
+                        lo_frac=0.5, hi_frac=1.0, seed=SEED + 202
+                    ),
+                ),
+                TenantSpec(
+                    name="bronze",
+                    slo_class="bronze",
+                    arrivals=ArrivalSpec(
+                        rate_per_sec=0.3 * offered,
+                        n_requests=1_200,
+                        seed=SEED + 303,
+                        shape="flash",
+                        params=(
+                            ("spike_factor", 16.0),
+                            ("spike_start_request", 150),
+                            ("spike_len_requests", 900),
+                        ),
+                    ),
+                    keyspace=KeySpaceSpec(
+                        hi_frac=0.5, hot_theta=0.99, seed=SEED + 303
+                    ),
+                ),
+            ),
+            topology=TopologySpec(
+                n_shards=N_SHARDS, n_replicas=1, n_cores=N_CORES
+            ),
+            admission=admission,
+        )
+
+    print(
+        f"\noffered load {offered:,.0f} lookups/s "
+        f"(0.6x capacity), gold p99 SLO {gold_slo_ns:.0f} ns"
+    )
+
+    for label, admission in (
+        ("admission OFF", AdmissionSpec()),
+        ("admission ON (shed bronze at backlog 6)",
+         AdmissionSpec(enabled=True, bronze_depth=6, silver_depth=18)),
+    ):
+        result = simulate_scenario(day(admission), services, dataset.keys)
+        print(f"\n--- {label} ---")
+        for stats in result.tenants:
+            summary = stats.summary()
+            p99 = f"{summary.p99_ns:8.0f}" if summary else "       -"
+            verdict = ""
+            if stats.p99_slo_ns is not None:
+                verdict = "  SLO met" if stats.slo_met() else "  SLO MISSED"
+            print(
+                f"{stats.name:>6} ({stats.slo_class:>6}): "
+                f"{stats.completed:4d} done, {stats.shed:4d} shed, "
+                f"p99 {p99} ns{verdict}"
+            )
+
+    # Record-replay: the day is an artifact.  Serialize the spec and the
+    # merged trace, reload both, and replay -- byte-identical.
+    spec = day(AdmissionSpec(enabled=True, bronze_depth=6, silver_depth=18))
+    spec = ScenarioSpec.from_json(spec.to_json())  # JSON round trip
+    trace = TenantTrace.from_spec(spec, dataset.keys)
+    reloaded = TenantTrace.from_json(trace.to_json())
+    first = simulate_scenario(spec, services, dataset.keys)
+    again = replay_trace(spec, reloaded, services, keys=dataset.keys)
+    identical = all(
+        a.finish_ns == b.finish_ns and a.shed == b.shed
+        for a, b in zip(first.cluster.records, again.cluster.records)
+    )
+    print(
+        f"\nrecord-replay: spec key {spec.content_key()[:12]}, "
+        f"trace key {trace.content_key()[:12]}, "
+        f"{len(trace)} requests, replay identical: "
+        f"{'yes' if identical else 'NO'}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -298,6 +298,11 @@ def _save_svgs(directory: str, chosen=(), settings=None) -> None:
 
         for path in ext_cluster.render_svgs(settings, directory):
             print(f"wrote {path}")
+    if settings is not None and "ext_tenants" in chosen:
+        from repro.bench.experiments import ext_tenants
+
+        for path in ext_tenants.render_svgs(settings, directory):
+            print(f"wrote {path}")
 
 
 if __name__ == "__main__":

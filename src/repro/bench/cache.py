@@ -57,6 +57,25 @@ def cache_key(cell: MeasureCell, schema_version: Optional[int] = None) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:40]
 
 
+def scenario_key(spec, schema_version: Optional[int] = None) -> str:
+    """Stable content hash for a scenario-spec replay.
+
+    Combines the measurement schema version with the spec's canonical
+    JSON form (:meth:`~repro.serve.scenario.ScenarioSpec.to_dict`, which
+    embeds its own scenario schema version).  Together with the content
+    keys of the measurement cells a replay consumes, this identifies a
+    scenario run completely: the simulators are deterministic, so (this
+    key, cell keys) -> identical tables, which is what lets scenario
+    results flow through the same cache-and-replay discipline as every
+    measurement (``ext_tenants`` pins the reproducibility end to end).
+    """
+    if schema_version is None:
+        schema_version = CACHE_SCHEMA_VERSION
+    payload = {"schema": schema_version, "scenario": spec.to_dict()}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:40]
+
+
 def measurement_to_record(m: Measurement) -> dict:
     """Full, lossless JSON form of a measurement (unlike ``export``'s
     flattened rows, this keeps every field needed to reconstruct)."""

@@ -19,6 +19,7 @@ from repro.bench.experiments import (
     ext_readwrite,
     ext_serving,
     ext_skew,
+    ext_tenants,
     fig6_cdfs,
     fig7_pareto,
     fig8_strings,
@@ -57,6 +58,7 @@ EXPERIMENTS = {
     "ext3": ext_readwrite.run,
     "ext_serving": ext_serving.run,
     "ext_cluster": ext_cluster.run,
+    "ext_tenants": ext_tenants.run,
 }
 
 #: Grid enumerators for the parallel runner (subset of EXPERIMENTS).
@@ -77,6 +79,7 @@ EXPERIMENT_CELLS = {
     "ext1": ext_learned_variants.cells,
     "ext_serving": ext_serving.cells,
     "ext_cluster": ext_cluster.cells,
+    "ext_tenants": ext_tenants.cells,
 }
 
 __all__ = ["EXPERIMENTS", "EXPERIMENT_CELLS"]

@@ -19,13 +19,20 @@ deliver, and which index should serve a given load under a
   with seeded fault injection (:mod:`repro.serve.faults`) and a
   retry/hedge/batch router (:mod:`repro.serve.router`); see
   ``docs/cluster.md``.
+* :mod:`repro.serve.scenario` / :mod:`repro.serve.tenancy` /
+  :mod:`repro.serve.trace` -- declarative multi-tenant scenario specs,
+  admission control with SLO-class load shedding, and trace
+  record-replay; see ``docs/tenancy.md``.
 
-Driven end-to-end by the ``ext_serving`` and ``ext_cluster``
-experiments (``python -m repro.bench --experiment ext_cluster``).
+Driven end-to-end by the ``ext_serving``, ``ext_cluster`` and
+``ext_tenants`` experiments (``python -m repro.bench --experiment
+ext_tenants``).
 """
 
 from repro.serve.arrivals import (
     bursty_arrivals,
+    diurnal_arrivals,
+    flash_crowd_arrivals,
     poisson_arrivals,
     think_times_ns,
 )
@@ -48,6 +55,17 @@ from repro.serve.cluster import Cluster, ClusterResult, simulate_cluster
 from repro.serve.faults import FaultConfig, FaultEvent, fault_schedule
 from repro.serve.metrics import LatencySummary, summarize, summarize_result
 from repro.serve.router import RouterPolicy, ShardMap, request_keys
+from repro.serve.scenario import (
+    AdmissionSpec,
+    ArrivalSpec,
+    FaultSpec,
+    KeySpaceSpec,
+    PolicySpec,
+    ScenarioSpec,
+    TenantSpec,
+    TopologySpec,
+    single_tenant_spec,
+)
 from repro.serve.selector import (
     Candidate,
     ClusterCandidate,
@@ -59,6 +77,14 @@ from repro.serve.selector import (
     select_under_slo,
     selection_from_candidates,
 )
+from repro.serve.tenancy import (
+    TenancyResult,
+    TenantStats,
+    replay_trace,
+    should_shed,
+    simulate_scenario,
+)
+from repro.serve.trace import TenantTrace
 
 __all__ = [
     "MachineModel",
@@ -69,6 +95,8 @@ __all__ = [
     "service_time_ns",
     "poisson_arrivals",
     "bursty_arrivals",
+    "diurnal_arrivals",
+    "flash_crowd_arrivals",
     "think_times_ns",
     "ServiceModel",
     "Request",
@@ -96,4 +124,19 @@ __all__ = [
     "ClusterSelection",
     "cluster_selection_from_candidates",
     "select_cluster_under_slo",
+    "ScenarioSpec",
+    "TenantSpec",
+    "ArrivalSpec",
+    "KeySpaceSpec",
+    "TopologySpec",
+    "PolicySpec",
+    "FaultSpec",
+    "AdmissionSpec",
+    "single_tenant_spec",
+    "TenantTrace",
+    "TenancyResult",
+    "TenantStats",
+    "should_shed",
+    "simulate_scenario",
+    "replay_trace",
 ]

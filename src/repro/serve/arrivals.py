@@ -88,6 +88,100 @@ def bursty_arrivals(
     return times
 
 
+def diurnal_arrivals(
+    rate_per_sec: float,
+    n: int,
+    seed: int,
+    peak_to_trough: float = 3.0,
+    period_requests: int = 200,
+) -> List[float]:
+    """Sinusoidally modulated Poisson arrivals (nanoseconds) -- a "day".
+
+    The instantaneous rate of request ``i`` follows one sine cycle every
+    ``period_requests`` requests, swinging between a peak and a trough
+    whose ratio is ``peak_to_trough``; the discrete request-weighted
+    harmonic mean of the per-request rates is normalized so the long-run
+    average rate is exactly ``rate_per_sec`` over whole periods.
+
+    Like every open-loop shape here, the same ``(seed, n)`` unit-gap
+    sequence is reused across rates (a rate sweep rescales gaps, it
+    never re-draws them), and the modulation depends only on the request
+    index -- so the process is *horizon-pure*: the first ``k`` arrivals
+    of an ``n``-request trace equal the ``k``-request trace exactly.
+    """
+    if rate_per_sec <= 0.0:
+        raise ValueError(f"rate must be positive, got {rate_per_sec}")
+    if peak_to_trough <= 1.0:
+        raise ValueError(
+            f"peak_to_trough must exceed 1, got {peak_to_trough}"
+        )
+    if period_requests < 2:
+        raise ValueError(
+            f"period_requests must be >= 2, got {period_requests}"
+        )
+    # Amplitude giving the requested peak/trough ratio: (1+A)/(1-A) = r.
+    amp = (peak_to_trough - 1.0) / (peak_to_trough + 1.0)
+    phase = 2.0 * np.pi * np.arange(period_requests) / period_requests
+    modulation = 1.0 + amp * np.sin(phase)
+    # Exact discrete normalization: with rate_i = rate * modulation_i *
+    # correction, the mean gap over one full period is exactly 1/rate.
+    correction = float(np.mean(1.0 / modulation))
+    gaps = _unit_gaps(n, seed)
+    times: List[float] = []
+    t = 0.0
+    for i in range(n):
+        rate = rate_per_sec * float(modulation[i % period_requests]) * correction
+        t += gaps[i] * 1e9 / rate
+        times.append(t)
+    return times
+
+
+def flash_crowd_arrivals(
+    rate_per_sec: float,
+    n: int,
+    seed: int,
+    spike_factor: float = 8.0,
+    spike_start_request: int = 100,
+    spike_len_requests: int = 100,
+) -> List[float]:
+    """Baseline Poisson with a flash crowd (nanoseconds).
+
+    Requests ``spike_start_request <= i < spike_start_request +
+    spike_len_requests`` arrive at ``spike_factor`` times the baseline
+    rate; everything else is plain Poisson at ``rate_per_sec``.  The
+    spike is *extra* load on top of the baseline (the long-run rate
+    exceeds nominal while it lasts) -- that is the point of a flash
+    crowd, and what admission control is tested against.
+
+    The spike window is defined in absolute request indices, not
+    fractions of ``n``, so the process is horizon-pure (see
+    :func:`diurnal_arrivals`); the fixed unit-gap sequence is reused
+    across rates, as for every other shape.
+    """
+    if rate_per_sec <= 0.0:
+        raise ValueError(f"rate must be positive, got {rate_per_sec}")
+    if spike_factor <= 1.0:
+        raise ValueError(f"spike_factor must exceed 1, got {spike_factor}")
+    if spike_start_request < 0:
+        raise ValueError(
+            f"spike_start_request must be >= 0, got {spike_start_request}"
+        )
+    if spike_len_requests < 1:
+        raise ValueError(
+            f"spike_len_requests must be >= 1, got {spike_len_requests}"
+        )
+    gaps = _unit_gaps(n, seed)
+    spike_end = spike_start_request + spike_len_requests
+    times: List[float] = []
+    t = 0.0
+    for i in range(n):
+        in_spike = spike_start_request <= i < spike_end
+        rate = rate_per_sec * (spike_factor if in_spike else 1.0)
+        t += gaps[i] * 1e9 / rate
+        times.append(t)
+    return times
+
+
 def think_times_ns(
     mean_think_ns: float, n: int, seed: int
 ) -> List[float]:

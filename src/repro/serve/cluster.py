@@ -286,17 +286,21 @@ class _ClusterSim:
 
     # -- event generation ---------------------------------------------------
 
+    def _make_record(self, rid: int, key: int, t: float) -> ClusterRequest:
+        """Record factory; the tenancy layer overrides this to attach
+        tenant identity without perturbing the event stream."""
+        return ClusterRequest(
+            rid=rid,
+            key=int(key),
+            shard=self.cluster.shard_map.shard_for(key),
+            arrival_ns=float(t),
+        )
+
     def load(self, arrivals_ns: Sequence[float], keys: Sequence[int]) -> None:
         """Push arrivals first (sequence numbers 0..n-1, exactly as the
         single-node simulator does), then the fault schedule."""
-        shard_map = self.cluster.shard_map
         for rid, (t, key) in enumerate(zip(arrivals_ns, keys)):
-            record = ClusterRequest(
-                rid=rid,
-                key=int(key),
-                shard=shard_map.shard_for(key),
-                arrival_ns=float(t),
-            )
+            record = self._make_record(rid, key, t)
             self.records.append(record)
             self.events.push(float(t), _ARRIVAL, record)
         for event in self.schedule:

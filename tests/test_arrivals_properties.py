@@ -1,0 +1,252 @@
+"""Property tests for the open-loop arrival generators.
+
+The contract every shape in :mod:`repro.serve.arrivals` honours:
+
+* **One gap sequence per (seed, n).**  Sweeping the offered rate
+  rescales a fixed unit-exponential gap sequence -- it never re-draws
+  it.  Doubling the rate exactly halves every per-request gap (scaling
+  by a power of two is exact in binary floating point, term by term
+  through the running sum), and arbitrary rate ratios agree to
+  floating-point tolerance.
+* **Seed determinism.**  A generator is a pure function of its
+  arguments; distinct seeds give distinct traces.
+* **Horizon purity.**  The modulation of the new diurnal and
+  flash-crowd shapes depends only on the request *index*, so the first
+  ``k`` arrivals of an ``n``-request trace equal the ``k``-request
+  trace byte for byte (the numpy Generator draw-prefix property
+  supplies the gap half of this).
+
+These are the invariants the tenancy layer's record-replay identity
+and ``ext_serving``'s monotone load-latency curves rest on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.arrivals import (
+    _unit_gaps,
+    bursty_arrivals,
+    diurnal_arrivals,
+    flash_crowd_arrivals,
+    poisson_arrivals,
+)
+
+_RATES = st.floats(min_value=1e3, max_value=1e7)
+_SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+_N = st.integers(min_value=1, max_value=300)
+
+# Every shape under test, with fixed non-default knobs so the modulation
+# paths (burst window, sine period, spike window) are all exercised.
+_SHAPES = [
+    ("poisson", lambda r, n, s: poisson_arrivals(r, n, s)),
+    (
+        "bursty",
+        lambda r, n, s: bursty_arrivals(
+            r, n, s, burst_factor=3.0, burst_fraction=0.25, period_requests=20
+        ),
+    ),
+    (
+        "diurnal",
+        lambda r, n, s: diurnal_arrivals(
+            r, n, s, peak_to_trough=4.0, period_requests=30
+        ),
+    ),
+    (
+        "flash",
+        lambda r, n, s: flash_crowd_arrivals(
+            r,
+            n,
+            s,
+            spike_factor=6.0,
+            spike_start_request=10,
+            spike_len_requests=25,
+        ),
+    ),
+]
+_SHAPE_IDS = [name for name, _ in _SHAPES]
+_GENERATORS = [gen for _, gen in _SHAPES]
+
+
+class TestGapSequenceReuse:
+    @pytest.mark.parametrize("gen", _GENERATORS, ids=_SHAPE_IDS)
+    @given(rate=_RATES, n=_N, seed=_SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_doubling_rate_exactly_halves_every_arrival(
+        self, gen, rate, n, seed
+    ):
+        """Factor-of-two rate scaling is *bit-exact*: each term of the
+        running sum is divided by 2 (exact), so the sums match exactly.
+        Only possible if both traces share one gap sequence."""
+        base = gen(rate, n, seed)
+        double = gen(2.0 * rate, n, seed)
+        assert [2.0 * t for t in double] == base
+
+    @pytest.mark.parametrize("gen", _GENERATORS, ids=_SHAPE_IDS)
+    @given(
+        rate=_RATES,
+        factor=st.floats(min_value=1.1, max_value=50.0),
+        n=_N,
+        seed=_SEEDS,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_general_rate_ratio_rescales_not_redraws(
+        self, gen, rate, factor, n, seed
+    ):
+        """At any rate ratio the two traces are the same sequence up to
+        a scalar -- re-drawn gaps would break this immediately."""
+        base = np.asarray(gen(rate, n, seed))
+        scaled = np.asarray(gen(rate * factor, n, seed))
+        assert np.allclose(scaled * factor, base, rtol=1e-9)
+
+    @given(n=_N, seed=_SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_unit_gaps_depend_only_on_seed_and_n(self, n, seed):
+        a = _unit_gaps(n, seed)
+        b = _unit_gaps(n, seed)
+        assert a.tolist() == b.tolist()
+        assert (a > 0.0).all()
+
+    @given(rate=_RATES, n=st.integers(2, 300), seed=_SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_poisson_gaps_recover_the_unit_sequence(self, rate, n, seed):
+        """Differencing a Poisson trace recovers the shared unit-gap
+        sequence scaled by the mean gap."""
+        times = np.asarray(poisson_arrivals(rate, n, seed))
+        implied = np.diff(times, prepend=0.0) * rate / 1e9
+        assert np.allclose(implied, _unit_gaps(n, seed), rtol=1e-9)
+
+
+class TestSeedDeterminism:
+    @pytest.mark.parametrize("gen", _GENERATORS, ids=_SHAPE_IDS)
+    @given(rate=_RATES, n=_N, seed=_SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_same_seed_same_trace(self, gen, rate, n, seed):
+        assert gen(rate, n, seed) == gen(rate, n, seed)
+
+    @pytest.mark.parametrize("gen", _GENERATORS, ids=_SHAPE_IDS)
+    @given(rate=_RATES, n=st.integers(4, 300), seed=_SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_distinct_seeds_distinct_traces(self, gen, rate, n, seed):
+        assert gen(rate, n, seed) != gen(rate, n, seed + 1)
+
+    @pytest.mark.parametrize("gen", _GENERATORS, ids=_SHAPE_IDS)
+    @given(rate=_RATES, n=_N, seed=_SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_strictly_increasing_and_positive(self, gen, rate, n, seed):
+        times = gen(rate, n, seed)
+        assert times[0] > 0.0
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+
+class TestHorizonPurity:
+    @pytest.mark.parametrize("gen", _GENERATORS, ids=_SHAPE_IDS)
+    @given(
+        rate=_RATES,
+        n=st.integers(2, 300),
+        seed=_SEEDS,
+        data=st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_prefix_of_long_trace_is_the_short_trace(
+        self, gen, rate, n, seed, data
+    ):
+        """Byte-identical prefixes: extending the horizon never changes
+        arrivals already generated.  This is what lets a recorded
+        mixed-tenant day be truncated or extended without invalidating
+        the measurement cache for the shared prefix."""
+        k = data.draw(st.integers(min_value=1, max_value=n - 1))
+        assert gen(rate, n, seed)[:k] == gen(rate, k, seed)
+
+
+class TestModulationShapes:
+    @given(
+        rate=_RATES,
+        seed=_SEEDS,
+        peak_to_trough=st.floats(min_value=1.2, max_value=10.0),
+        periods=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_diurnal_mean_rate_is_normalized_over_whole_periods(
+        self, rate, seed, peak_to_trough, periods
+    ):
+        """The discrete correction makes the request-weighted mean gap
+        over whole periods exactly the nominal mean gap: each per-request
+        gap is gaps[i]/(rate * mod_i * corr) with mean(1/(mod*corr)) = 1
+        over a period."""
+        period = 40
+        n = period * periods
+        times = np.asarray(
+            diurnal_arrivals(
+                rate, n, seed,
+                peak_to_trough=peak_to_trough, period_requests=period,
+            )
+        )
+        dt = np.diff(times, prepend=0.0)
+        unit = dt / (_unit_gaps(n, seed) * 1e9 / rate)
+        assert np.isclose(np.mean(unit), 1.0, rtol=1e-9)
+        # And the modulation actually swings: peak gap ratio matches.
+        assert np.isclose(
+            unit.max() / unit.min(), peak_to_trough, rtol=1e-6
+        )
+
+    @given(
+        rate=_RATES,
+        seed=_SEEDS,
+        spike_factor=st.floats(min_value=1.5, max_value=20.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_flash_spike_window_runs_at_spike_rate(
+        self, rate, seed, spike_factor
+    ):
+        """Inside the spike window every gap is exactly the baseline gap
+        over spike_factor; outside it is plain Poisson."""
+        start, length, n = 20, 30, 80
+        times = np.asarray(
+            flash_crowd_arrivals(
+                rate, n, seed,
+                spike_factor=spike_factor,
+                spike_start_request=start,
+                spike_len_requests=length,
+            )
+        )
+        dt = np.diff(times, prepend=0.0)
+        unit = dt / (_unit_gaps(n, seed) * 1e9 / rate)
+        in_spike = np.zeros(n, dtype=bool)
+        in_spike[start : start + length] = True
+        assert np.allclose(unit[in_spike], 1.0 / spike_factor, rtol=1e-9)
+        assert np.allclose(unit[~in_spike], 1.0, rtol=1e-9)
+
+    def test_flash_spike_past_horizon_is_plain_poisson(self):
+        # Equal up to summation order: poisson multiplies the cumulative
+        # sum once, flash scales each gap before accumulating.
+        times = flash_crowd_arrivals(
+            1e5, 50, 3, spike_start_request=1000, spike_len_requests=10
+        )
+        assert np.allclose(times, poisson_arrivals(1e5, 50, 3), rtol=1e-12)
+
+
+class TestValidation:
+    def test_diurnal_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            diurnal_arrivals(0.0, 10, 0)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(1e5, 10, 0, peak_to_trough=1.0)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(1e5, 10, 0, period_requests=1)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(1e5, 0, 0)
+
+    def test_flash_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            flash_crowd_arrivals(-1.0, 10, 0)
+        with pytest.raises(ValueError):
+            flash_crowd_arrivals(1e5, 10, 0, spike_factor=1.0)
+        with pytest.raises(ValueError):
+            flash_crowd_arrivals(1e5, 10, 0, spike_start_request=-1)
+        with pytest.raises(ValueError):
+            flash_crowd_arrivals(1e5, 10, 0, spike_len_requests=0)

@@ -29,7 +29,9 @@ def test_cli_lists_all_paper_artifacts():
     assert paper_artifacts <= set(EXPERIMENTS)
     extras = set(EXPERIMENTS) - paper_artifacts
     # extension experiments are explicit
-    assert extras == {"ext1", "ext2", "ext3", "ext_serving", "ext_cluster"}
+    assert extras == {
+        "ext1", "ext2", "ext3", "ext_serving", "ext_cluster", "ext_tenants",
+    }
 
 
 @pytest.mark.parametrize("exp_id", ALL_IDS)

@@ -1,0 +1,359 @@
+"""Unit tests for the tenancy layer: shedding rule, tenant traces,
+per-tenant accounting, and the obs metrics bridge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memsim.counters import PerfCountersF
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.core import ServiceModel
+from repro.serve.router import ShardMap
+from repro.serve.scenario import (
+    AdmissionSpec,
+    ArrivalSpec,
+    KeySpaceSpec,
+    ScenarioSpec,
+    TenantSpec,
+    TopologySpec,
+    single_tenant_spec,
+)
+from repro.serve.tenancy import (
+    replay_trace,
+    should_shed,
+    simulate_scenario,
+)
+from repro.serve.trace import TenantTrace
+
+
+def counters(instructions=500):
+    return PerfCountersF(
+        instructions=instructions,
+        branch_misses=5.0,
+        llc_misses=30.0,
+        l1_hits=40.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def keys():
+    raw = np.random.default_rng(0).integers(
+        0, 2**40, size=5000, dtype=np.uint64
+    )
+    return np.unique(raw)
+
+
+def pressure_spec(service_ns: float, admission: AdmissionSpec) -> ScenarioSpec:
+    """Gold at half capacity plus a bronze flash crowd that overloads a
+    1-shard, 1-replica, 1-core cluster several times over mid-run."""
+    rate = 0.9 * 1e9 / service_ns
+    return ScenarioSpec(
+        name="pressure",
+        tenants=(
+            TenantSpec(
+                name="gold",
+                slo_class="gold",
+                arrivals=ArrivalSpec(
+                    rate_per_sec=0.5 * rate, n_requests=400, seed=1
+                ),
+                p99_slo_ns=20.0 * service_ns,
+            ),
+            TenantSpec(
+                name="bronze",
+                slo_class="bronze",
+                arrivals=ArrivalSpec(
+                    rate_per_sec=0.5 * rate,
+                    n_requests=1200,
+                    seed=2,
+                    shape="flash",
+                    params=(
+                        ("spike_factor", 12.0),
+                        ("spike_start_request", 150),
+                        ("spike_len_requests", 500),
+                    ),
+                ),
+            ),
+        ),
+        topology=TopologySpec(n_shards=1, n_replicas=1, n_cores=1),
+        admission=admission,
+    )
+
+
+class TestShouldShed:
+    def test_disabled_never_sheds(self):
+        admission = AdmissionSpec(enabled=False, bronze_depth=1)
+        assert not should_shed(admission, "bronze", 10**6)
+
+    def test_no_threshold_never_sheds(self):
+        admission = AdmissionSpec(enabled=True, bronze_depth=4)
+        assert not should_shed(admission, "gold", 10**6)
+        assert not should_shed(admission, "silver", 10**6)
+
+    def test_threshold_is_inclusive(self):
+        admission = AdmissionSpec(enabled=True, bronze_depth=4)
+        assert not should_shed(admission, "bronze", 3)
+        assert should_shed(admission, "bronze", 4)
+        assert should_shed(admission, "bronze", 5)
+
+    def test_per_class_thresholds(self):
+        admission = AdmissionSpec(
+            enabled=True, bronze_depth=2, silver_depth=5, gold_depth=9
+        )
+        assert should_shed(admission, "bronze", 2)
+        assert not should_shed(admission, "silver", 2)
+        assert should_shed(admission, "silver", 5)
+        assert not should_shed(admission, "gold", 5)
+        assert should_shed(admission, "gold", 9)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            should_shed(AdmissionSpec(enabled=True), "platinum", 0)
+
+    def test_pure_function(self):
+        """Same (config, class, backlog) -> same answer, call after call."""
+        admission = AdmissionSpec(enabled=True, bronze_depth=3)
+        answers = {should_shed(admission, "bronze", 3) for _ in range(10)}
+        assert answers == {True}
+
+
+class TestTenantTrace:
+    def mixed_spec(self) -> ScenarioSpec:
+        return ScenarioSpec(
+            name="mix",
+            tenants=(
+                TenantSpec(
+                    name="a",
+                    arrivals=ArrivalSpec(
+                        rate_per_sec=1e5, n_requests=60, seed=1
+                    ),
+                ),
+                TenantSpec(
+                    name="b",
+                    slo_class="bronze",
+                    arrivals=ArrivalSpec(
+                        rate_per_sec=2e5, n_requests=90, seed=2
+                    ),
+                    keyspace=KeySpaceSpec(hi_frac=0.5, seed=2),
+                ),
+            ),
+        )
+
+    def test_merge_is_sorted_and_complete(self, keys):
+        spec = self.mixed_spec()
+        trace = TenantTrace.from_spec(spec, keys)
+        assert len(trace) == 150
+        assert trace.counts_by_tenant() == [60, 90]
+        assert np.all(np.diff(trace.arrivals_ns) >= 0.0)
+
+    def test_merge_preserves_per_tenant_streams(self, keys):
+        """Each tenant's subsequence of the merged trace is exactly its
+        own generated arrivals and sampled keys, in order."""
+        spec = self.mixed_spec()
+        trace = TenantTrace.from_spec(spec, keys)
+        for ti, tenant in enumerate(spec.tenants):
+            mask = trace.tenants == ti
+            times = trace.arrivals_ns[mask].tolist()
+            tkeys = [int(k) for k in trace.keys[mask]]
+            assert times == tenant.arrivals.generate()
+            assert tkeys == tenant.keyspace.sample(
+                keys, tenant.arrivals.n_requests
+            )
+
+    def test_json_and_file_round_trip(self, keys, tmp_path):
+        trace = TenantTrace.from_spec(self.mixed_spec(), keys)
+        again = TenantTrace.from_json(trace.to_json())
+        assert again == trace
+        assert again.content_key() == trace.content_key()
+        path = tmp_path / "day.trace.json"
+        trace.save(path)
+        assert TenantTrace.load(path) == trace
+
+    def test_content_key_sensitive_to_payload(self, keys):
+        trace = TenantTrace.from_spec(self.mixed_spec(), keys)
+        other = TenantTrace(
+            trace.arrivals_ns,
+            trace.keys,
+            trace.tenants,
+            ("a", "c"),
+        )
+        assert other.content_key() != trace.content_key()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="parallel"):
+            TenantTrace([0.0, 1.0], [1], [0, 0], ("a",))
+        with pytest.raises(ValueError, match="at least one request"):
+            TenantTrace([], [], [], ("a",))
+        with pytest.raises(ValueError, match="out of range"):
+            TenantTrace([0.0], [1], [1], ("a",))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TenantTrace([1.0, 0.5], [1, 2], [0, 0], ("a",))
+        with pytest.raises(ValueError, match="unique"):
+            TenantTrace([0.0], [1], [0], ("a", "a"))
+
+    def test_schema_version_checked(self, keys):
+        d = TenantTrace.from_spec(self.mixed_spec(), keys).to_dict()
+        d["schema"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            TenantTrace.from_dict(d)
+
+
+class TestScenarioExecution:
+    def test_runs_are_deterministic(self, keys):
+        spec = pressure_spec(2000.0, AdmissionSpec(enabled=True, bronze_depth=5))
+        svc = ServiceModel(counters())
+        shard_map = ShardMap.from_keys(keys, 1)
+        a = simulate_scenario(spec, [svc], keys, shard_map=shard_map)
+        b = simulate_scenario(
+            spec, [ServiceModel(counters())], keys, shard_map=shard_map
+        )
+        assert len(a.cluster.records) == len(b.cluster.records)
+        for ra, rb in zip(a.cluster.records, b.cluster.records):
+            assert (
+                ra.rid,
+                ra.tenant,
+                ra.shed,
+                ra.arrival_ns,
+                ra.finish_ns,
+            ) == (rb.rid, rb.tenant, rb.shed, rb.arrival_ns, rb.finish_ns)
+
+    def test_shedding_protects_gold_under_pressure(self, keys):
+        svc = ServiceModel(counters())
+        service_ns = svc.service_ns(1)
+        shard_map = ShardMap.from_keys(keys, 1)
+        off = simulate_scenario(
+            pressure_spec(service_ns, AdmissionSpec()),
+            [ServiceModel(counters())],
+            keys,
+            shard_map=shard_map,
+        )
+        on = simulate_scenario(
+            pressure_spec(
+                service_ns, AdmissionSpec(enabled=True, bronze_depth=6)
+            ),
+            [ServiceModel(counters())],
+            keys,
+            shard_map=shard_map,
+        )
+        # Without admission control the flash crowd destroys gold's p99
+        # and nothing is shed; with it, bronze absorbs rejections and
+        # gold's p99 meets its SLO.
+        assert off.total_shed == 0
+        assert off.by_name("gold").slo_met() is False
+        assert on.by_name("bronze").shed > 0
+        assert on.by_name("gold").shed == 0
+        assert on.by_name("gold").slo_met() is True
+        gold_on = on.by_name("gold").summary()
+        gold_off = off.by_name("gold").summary()
+        assert gold_on.p99_ns < gold_off.p99_ns
+
+    def test_per_tenant_accounting_is_complete(self, keys):
+        spec = pressure_spec(2000.0, AdmissionSpec(enabled=True, bronze_depth=4))
+        result = simulate_scenario(
+            spec, [ServiceModel(counters())], keys,
+            shard_map=ShardMap.from_keys(keys, 1),
+        )
+        assert sum(t.requests for t in result.tenants) == len(
+            result.cluster.records
+        )
+        for ts in result.tenants:
+            # Fault-free: every request completes, fails, or was shed.
+            assert ts.completed + ts.failed + ts.shed == ts.requests
+            assert len(ts.latencies_ns) == ts.completed
+            assert 0.0 <= ts.shed_fraction <= 1.0
+            assert 0.0 <= ts.goodput <= 1.0
+        assert result.total_shed == sum(t.shed for t in result.tenants)
+        assert result.admitted == len(result.cluster.records) - (
+            result.total_shed
+        )
+
+    def test_shed_requests_never_dispatch(self, keys):
+        spec = pressure_spec(2000.0, AdmissionSpec(enabled=True, bronze_depth=4))
+        result = simulate_scenario(
+            spec, [ServiceModel(counters())], keys,
+            shard_map=ShardMap.from_keys(keys, 1),
+        )
+        shed = [r for r in result.cluster.records if r.shed]
+        assert shed
+        for r in shed:
+            assert r.attempts == 0 and r.retries == 0
+            assert not r.completed and not r.failed
+            assert r.start_ns < 0 and r.finish_ns < 0
+
+    def test_fully_shed_tenant_has_no_summary(self, keys):
+        spec = pressure_spec(2000.0, AdmissionSpec(enabled=True, bronze_depth=1))
+        result = simulate_scenario(
+            spec, [ServiceModel(counters())], keys,
+            shard_map=ShardMap.from_keys(keys, 1),
+        )
+        bronze = result.by_name("bronze")
+        if bronze.completed == 0:
+            assert bronze.summary() is None
+            assert bronze.slo_met() is None
+
+    def test_replay_requires_matching_tenants(self, keys):
+        spec = pressure_spec(2000.0, AdmissionSpec())
+        trace = TenantTrace.from_spec(spec, keys)
+        other = single_tenant_spec(rate_per_sec=1e5, n_requests=10)
+        with pytest.raises(ValueError, match="tenants"):
+            replay_trace(other, trace, [ServiceModel(counters())], keys=keys)
+
+    def test_replay_needs_keys_or_shard_map(self, keys):
+        spec = pressure_spec(2000.0, AdmissionSpec())
+        trace = TenantTrace.from_spec(spec, keys)
+        with pytest.raises(ValueError, match="keys"):
+            replay_trace(spec, trace, [ServiceModel(counters())])
+
+
+class TestMetricsBridge:
+    def test_per_tenant_counters_published(self, keys):
+        spec = pressure_spec(2000.0, AdmissionSpec(enabled=True, bronze_depth=5))
+        result = simulate_scenario(
+            spec, [ServiceModel(counters())], keys,
+            shard_map=ShardMap.from_keys(keys, 1),
+        )
+        reg = MetricsRegistry()
+        result.to_metrics(registry=reg)
+        snap = reg.snapshot()
+        c = snap["counters"]
+        assert c["serve.tenancy.requests"] == len(result.cluster.records)
+        assert c["serve.tenancy.shed"] == result.total_shed
+        for ts in result.tenants:
+            p = f"serve.tenancy.tenant.{ts.name}"
+            assert c[f"{p}.requests"] == ts.requests
+            assert c[f"{p}.completed"] == ts.completed
+            assert c[f"{p}.shed"] == ts.shed
+        gold = result.by_name("gold")
+        assert snap["gauges"]["serve.tenancy.tenant.gold.latency.p99_ns"] == (
+            gold.summary().p99_ns
+        )
+        assert c["serve.tenancy.tenant.gold.slo.runs"] == 1
+        assert c["serve.tenancy.tenant.gold.slo.requests_over"] == (
+            gold.requests_over_slo
+        )
+
+    def test_violation_counter_only_on_miss(self, keys):
+        svc = ServiceModel(counters())
+        service_ns = svc.service_ns(1)
+        shard_map = ShardMap.from_keys(keys, 1)
+        reg = MetricsRegistry()
+        off = simulate_scenario(
+            pressure_spec(service_ns, AdmissionSpec()),
+            [ServiceModel(counters())], keys, shard_map=shard_map,
+        )
+        off.to_metrics(registry=reg)
+        assert reg.snapshot()["counters"][
+            "serve.tenancy.tenant.gold.slo.violations"
+        ] == 1
+        reg2 = MetricsRegistry()
+        on = simulate_scenario(
+            pressure_spec(
+                service_ns, AdmissionSpec(enabled=True, bronze_depth=6)
+            ),
+            [ServiceModel(counters())], keys, shard_map=shard_map,
+        )
+        on.to_metrics(registry=reg2)
+        assert (
+            "serve.tenancy.tenant.gold.slo.violations"
+            not in reg2.snapshot()["counters"]
+        )
