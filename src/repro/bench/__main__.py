@@ -12,6 +12,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -22,6 +23,7 @@ from repro.bench.parallel import collect_cells, resolve_jobs, run_cells
 from repro.bench.report import format_runner_stats
 from repro.datasets.loader import DATASET_NAMES
 from repro.memsim.engine import ENGINE_NAMES
+from repro.serve.fastsim import SERVE_ENGINE_NAMES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,6 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
         "changes wall-clock speed",
     )
     parser.add_argument(
+        "--serve-engine",
+        choices=SERVE_ENGINE_NAMES,
+        default=None,
+        help="serving-simulation engine (default: $REPRO_SERVE_ENGINE or "
+        "event); engines are byte-identical, so this only changes "
+        "wall-clock speed",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="attribute per-lookup counters to model/search phases "
@@ -135,6 +145,14 @@ def settings_from_args(args) -> BenchSettings:
         import os
 
         os.environ["REPRO_MEMSIM_ENGINE"] = args.memsim_engine
+    if args.serve_engine is not None:
+        settings.serve_engine = args.serve_engine
+        # Same ambient pattern as the memsim engine: simulation pool
+        # workers (repro.serve.sweep) inherit the choice via the
+        # environment, and it stays out of every cache key.
+        import os
+
+        os.environ["REPRO_SERVE_ENGINE"] = args.serve_engine
     if args.profile:
         settings.profile = True
         # Same ambient pattern: workers see REPRO_OBS_PROFILE and
@@ -172,10 +190,20 @@ def main(argv=None) -> int:
     from repro.bench.experiments import common
 
     cache = None
+    sim_cache = None
     if settings.cache_dir:
         cache = MeasurementCache(settings.cache_dir)
+        # Simulation results live beside the measurements, in their own
+        # subdirectory so measurement-cache bookkeeping is unaffected.
+        from repro.bench.cache import SimResultCache
+
+        sim_cache = SimResultCache(
+            os.path.join(settings.cache_dir, "serving")
+        )
     previous_cache = common.get_active_cache()
+    previous_sim_cache = common.get_active_sim_cache()
     common.set_active_cache(cache)
+    common.set_active_sim_cache(sim_cache)
     runner_stats = None
     try:
         # Pre-compute the measurement grid of every chosen experiment:
@@ -200,6 +228,7 @@ def main(argv=None) -> int:
             print()
     finally:
         common.set_active_cache(previous_cache)
+        common.set_active_sim_cache(previous_sim_cache)
 
     if settings.profile:
         from repro.obs.report import format_phase_table

@@ -114,6 +114,23 @@ def measurement_from_record(record: dict) -> Measurement:
     return Measurement(**record)
 
 
+def sim_key(task, schema_version: Optional[int] = None) -> str:
+    """Stable content hash of a simulation task's identity fields.
+
+    ``task`` is any object with a ``key_fields() -> dict`` of JSON
+    scalars (the :mod:`repro.serve.sweep` task dataclasses).  Like
+    :func:`cache_key`, the hash canonicalizes ordering and embeds the
+    schema version.  The serving engine is deliberately NOT part of any
+    task's key fields: engines are byte-identical, so one cached record
+    serves both (``tests/test_serve_sweep.py`` pins this invariance).
+    """
+    if schema_version is None:
+        schema_version = CACHE_SCHEMA_VERSION
+    payload = {"schema": schema_version, "sim": task.key_fields()}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:40]
+
+
 class MeasurementCache:
     """Directory of ``<content-key>.json`` measurement records.
 
@@ -160,6 +177,73 @@ class MeasurementCache:
             with os.fdopen(fd, "w") as f:
                 json.dump(entry, f, indent=1, sort_keys=True)
             os.replace(tmp, self._path(cell))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        return sum(
+            1
+            for n in names
+            if n.endswith(".json") and not n.startswith(".tmp-")
+        )
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class SimResultCache:
+    """Directory of ``<sim-key>.json`` simulation-result records.
+
+    The serving analogue of :class:`MeasurementCache`: each
+    :mod:`repro.serve.sweep` task stores its (JSON-able) result record
+    under the task's :func:`sim_key`.  Lives in its own subdirectory
+    (conventionally ``<cache_dir>/serving/``) so measurement-cache
+    bookkeeping (``MeasurementCache.__len__``) is unaffected.  Writes
+    are atomic, so concurrent sweeps sharing a directory at worst redo
+    a simulation, never corrupt a record.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, task) -> str:
+        return os.path.join(self.directory, sim_key(task) + ".json")
+
+    def get(self, task) -> Optional[dict]:
+        try:
+            with open(self._path(task)) as f:
+                entry = json.load(f)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["result"]
+
+    def put(self, task, result: dict) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "sim": task.key_fields(),
+            "result": result,
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(entry, f, indent=1, sort_keys=True)
+            os.replace(tmp, self._path(task))
         except BaseException:
             try:
                 os.unlink(tmp)

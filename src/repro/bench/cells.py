@@ -24,6 +24,23 @@ def freeze_config(config: dict) -> Tuple[Tuple[str, object], ...]:
     return tuple(sorted(config.items()))
 
 
+def freeze_counters(counters) -> Tuple[Tuple[str, float], ...]:
+    """Canonical, hashable form of a perf-counter record.
+
+    Used by the :mod:`repro.serve.sweep` tasks, whose identity includes
+    the measured counters a service model is derived from.  Works for
+    both :class:`~repro.memsim.counters.PerfCounters` and its float
+    variant; values are JSON scalars, so the frozen form feeds straight
+    into :func:`repro.bench.cache.sim_key`.
+    """
+    from dataclasses import fields as _fields
+
+    return tuple(
+        (f.name, float(getattr(counters, f.name)))
+        for f in sorted(_fields(counters), key=lambda f: f.name)
+    )
+
+
 @dataclass(frozen=True)
 class MeasureCell:
     """One grid point: everything needed to reproduce one measurement.

@@ -31,6 +31,10 @@ _WORKLOADS: Dict[Tuple, Workload] = {}
 #: Process-wide persistent cache handle (None = memo only).
 _ACTIVE_CACHE: Optional[MeasurementCache] = None
 
+#: Process-wide persistent simulation-result cache handle
+#: (:class:`repro.bench.cache.SimResultCache`; None = memo only).
+_ACTIVE_SIM_CACHE = None
+
 
 def set_active_cache(cache: Optional[MeasurementCache]) -> None:
     """Install (or remove, with None) the persistent measurement cache."""
@@ -40,6 +44,17 @@ def set_active_cache(cache: Optional[MeasurementCache]) -> None:
 
 def get_active_cache() -> Optional[MeasurementCache]:
     return _ACTIVE_CACHE
+
+
+def set_active_sim_cache(cache) -> None:
+    """Install (or remove, with None) the persistent simulation cache
+    the serving experiments route their sweeps through."""
+    global _ACTIVE_SIM_CACHE
+    _ACTIVE_SIM_CACHE = cache
+
+
+def get_active_sim_cache():
+    return _ACTIVE_SIM_CACHE
 
 
 def dataset_and_workload(
@@ -173,6 +188,11 @@ def closest_to_size(
 
 
 def clear_caches() -> None:
-    """Reset memoized measurements (mainly for tests)."""
+    """Reset memoized measurements and simulations (mainly for tests)."""
     _MEASUREMENTS.clear()
     _WORKLOADS.clear()
+    # Imported here: repro.serve.sweep is independent of this module and
+    # only needed when serving experiments have run.
+    from repro.serve.sweep import clear_sim_results
+
+    clear_sim_results()

@@ -30,6 +30,14 @@ Everything downstream of the cells is a deterministic replay: arrivals,
 request keys, and fault schedules are pure functions of the seed, so the
 tables are bit-identical across serial runs, ``--jobs N``, and
 cache-replay (pinned by ``tests/test_cluster_differential.py``).
+
+Each replay is a picklable :class:`repro.serve.sweep.ClusterTask`;
+``run()`` batches them in two phases through
+:func:`repro.serve.sweep.run_sim_tasks` (``--jobs`` processes plus the
+persistent simulation cache): phase one covers the fault scenarios and
+the hedging-off runs, phase two the hedging-on runs whose hedge
+threshold derives from phase one's healthy baseline -- which is the
+same task as the ``none`` scenario, so the memo deduplicates it.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from repro.bench.cells import MeasureCell
 from repro.bench.config import BenchSettings
 from repro.bench.experiments.common import (
     fastest,
+    get_active_sim_cache,
     resolve_cell,
     sweep_cells,
 )
@@ -54,6 +63,7 @@ from repro.serve.core import ServiceModel
 from repro.serve.faults import FaultConfig
 from repro.serve.router import RouterPolicy, ShardMap, request_keys
 from repro.serve.selector import select_cluster_under_slo
+from repro.serve.sweep import ClusterRunStats, cluster_task, run_sim_tasks
 
 INDEXES = ["RMI", "PGM", "BTree"]
 DATASETS = ["amzn", "osm"]
@@ -249,6 +259,53 @@ def run_scenario(
     )
 
 
+def scenario_cluster_task(
+    shard_map: ShardMap,
+    per_shard: Sequence[Measurement],
+    keys,
+    offered_per_sec: float,
+    settings: BenchSettings,
+    machine: MachineModel,
+    policy: RouterPolicy = RouterPolicy(),
+    faults: Optional[FaultConfig] = None,
+):
+    """:func:`run_scenario` as a picklable task (byte-identical record)."""
+    n_req = _n_requests(settings)
+    return cluster_task(
+        per_shard,
+        shard_map,
+        request_keys(keys, n_req, settings.seed),
+        offered_per_sec,
+        n_req,
+        settings.seed,
+        N_REPLICAS,
+        SIM_CORES,
+        policy,
+        faults,
+        _horizon_ns(_span_ns(offered_per_sec, n_req)),
+        machine,
+    )
+
+
+def run_scenario_stats(
+    shard_map: ShardMap,
+    per_shard: Sequence[Measurement],
+    keys,
+    offered_per_sec: float,
+    settings: BenchSettings,
+    machine: MachineModel,
+    policy: RouterPolicy = RouterPolicy(),
+    faults: Optional[FaultConfig] = None,
+) -> ClusterRunStats:
+    """One scenario through the task runner (memo + persistent cache)."""
+    task = scenario_cluster_task(
+        shard_map, per_shard, keys, offered_per_sec, settings, machine,
+        policy, faults,
+    )
+    record = run_sim_tasks([task], cache=get_active_sim_cache())[0]
+    return ClusterRunStats.from_record(record)
+
+
 def fault_rate_series(
     shard_map: ShardMap,
     per_shard: Sequence[Measurement],
@@ -257,28 +314,38 @@ def fault_rate_series(
     settings: BenchSettings,
     machine: MachineModel,
     rates: Sequence[float] = FAULT_RATE_SWEEP,
-) -> List[Tuple[float, ClusterResult]]:
-    """(expected crashes per replica stream, result) along the sweep."""
+    jobs: Optional[int] = None,
+) -> List[Tuple[float, ClusterRunStats]]:
+    """(expected crashes per replica stream, run stats) along the sweep.
+
+    The whole sweep is one :func:`run_sim_tasks` batch, so it fans out
+    over ``jobs`` processes and replays from the persistent cache.
+    """
     span = _span_ns(offered_per_sec, _n_requests(settings))
-    out = []
+    tasks = []
     for rate in rates:
         faults = FaultConfig(
             crash_mttf_ns=span / rate,
             crash_mttr_ns=span / 10.0,
             seed=settings.seed,
         )
-        result = run_scenario(
-            shard_map,
-            per_shard,
-            keys,
-            offered_per_sec,
-            settings,
-            machine,
-            policy=scenario_policy(span),
-            faults=faults,
+        tasks.append(
+            scenario_cluster_task(
+                shard_map,
+                per_shard,
+                keys,
+                offered_per_sec,
+                settings,
+                machine,
+                policy=scenario_policy(span),
+                faults=faults,
+            )
         )
-        out.append((rate, result))
-    return out
+    records = run_sim_tasks(tasks, jobs=jobs, cache=get_active_sim_cache())
+    return [
+        (rate, ClusterRunStats.from_record(record))
+        for rate, record in zip(rates, records)
+    ]
 
 
 def _per_family(
@@ -298,6 +365,7 @@ def run(settings: BenchSettings) -> str:
         f"({N_SHARDS} shards x {N_REPLICAS} replicas x {SIM_CORES} cores, "
         f"{n_req} requests per run, seed {settings.seed})\n"
     ]
+    sim_cache = get_active_sim_cache()
     for ds_name in _datasets(settings):
         ds = make_dataset(
             ds_name, settings.n_keys, seed=settings.seed, key_bits=64
@@ -305,36 +373,82 @@ def run(settings: BenchSettings) -> str:
         shard_map = ShardMap.from_keys(ds.keys, N_SHARDS)
         families = _per_family(ds_name, settings)
 
-        # -- tail latency and availability under faults ----------------
-        rows = []
+        # Phase one: every scenario replay plus the hedging-off runs, as
+        # one batch over --jobs processes.  The hedging-on runs need the
+        # healthy baseline's p99 (computed below), so they batch in a
+        # second phase; the baseline itself *is* the "none" scenario
+        # task, which the runner's memo deduplicates.
+        fam_ctx: Dict[str, dict] = {}
+        phase1 = []
         for name in sorted(families):
             per_shard = families[name]
             offered = LOAD_FRACTION * cluster_capacity_per_sec(
                 per_shard, machine
             )
             span = _span_ns(offered, n_req)
-            for scenario in _SCENARIOS:
-                result = run_scenario(
+            base_policy = scenario_policy(span)
+            gray = FaultConfig(
+                slow_mttf_ns=4.0 * span,
+                slow_mttr_ns=span / 8.0,
+                slow_factor=8.0,
+                seed=settings.seed,
+            )
+            scenario_tasks = {
+                scenario: scenario_cluster_task(
                     shard_map,
                     per_shard,
                     ds.keys,
                     offered,
                     settings,
                     machine,
-                    policy=scenario_policy(span),
+                    policy=base_policy,
                     faults=scenario_faults(scenario, span, settings.seed),
                 )
-                result.to_metrics()
-                s = result.summary()
+                for scenario in _SCENARIOS
+            }
+            gray_off = scenario_cluster_task(
+                shard_map,
+                per_shard,
+                ds.keys,
+                offered,
+                settings,
+                machine,
+                policy=base_policy,
+                faults=gray,
+            )
+            fam_ctx[name] = {
+                "per_shard": per_shard,
+                "offered": offered,
+                "span": span,
+                "base_policy": base_policy,
+                "gray": gray,
+                "scenario_tasks": scenario_tasks,
+                "gray_off": gray_off,
+            }
+            phase1.extend(scenario_tasks.values())
+            phase1.append(gray_off)
+        run_sim_tasks(phase1, jobs=settings.jobs, cache=sim_cache)
+
+        # -- tail latency and availability under faults ----------------
+        rows = []
+        for name in sorted(families):
+            ctx = fam_ctx[name]
+            for scenario in _SCENARIOS:
+                record = run_sim_tasks(
+                    [ctx["scenario_tasks"][scenario]], cache=sim_cache
+                )[0]
+                stats = ClusterRunStats.from_record(record)
+                stats.to_metrics()
+                s = stats.summary
                 rows.append(
                     (
                         name,
                         scenario,
-                        f"{result.availability:.4f}",
-                        str(result.failed),
-                        str(result.total_retries),
-                        str(result.crashes),
-                        str(result.slow_events),
+                        f"{stats.availability:.4f}",
+                        str(stats.failed),
+                        str(stats.total_retries),
+                        str(stats.crashes),
+                        str(stats.slow_events),
                         f"{s.p50_ns:.0f}",
                         f"{s.p99_ns:.0f}",
                         f"{s.p999_ns:.0f}",
@@ -365,56 +479,42 @@ def run(settings: BenchSettings) -> str:
         parts.append("")
 
         # -- hedging under rare gray failure ---------------------------
+        # Hedge only past the *healthy* tail at this load: threshold
+        # relative to the fault-free p99, not the uncontended latency,
+        # or ordinary queueing would trip it constantly and the extra
+        # attempts would burn the capacity hedging needs.
+        hedge_ctx = {}
+        phase2 = []
+        for name in sorted(families):
+            ctx = fam_ctx[name]
+            healthy_record = run_sim_tasks(
+                [ctx["scenario_tasks"]["none"]], cache=sim_cache
+            )[0]
+            healthy = ClusterRunStats.from_record(healthy_record)
+            hedge_ns = 3.0 * healthy.summary.p99_ns
+            on_task = scenario_cluster_task(
+                shard_map,
+                ctx["per_shard"],
+                ds.keys,
+                ctx["offered"],
+                settings,
+                machine,
+                policy=replace(ctx["base_policy"], hedge_after_ns=hedge_ns),
+                faults=ctx["gray"],
+            )
+            hedge_ctx[name] = (hedge_ns, on_task)
+            phase2.append(on_task)
+        run_sim_tasks(phase2, jobs=settings.jobs, cache=sim_cache)
+
         rows = []
         for name in sorted(families):
-            per_shard = families[name]
-            offered = LOAD_FRACTION * cluster_capacity_per_sec(
-                per_shard, machine
+            hedge_ns, on_task = hedge_ctx[name]
+            off_record, on_record = run_sim_tasks(
+                [fam_ctx[name]["gray_off"], on_task], cache=sim_cache
             )
-            span = _span_ns(offered, n_req)
-            gray = FaultConfig(
-                slow_mttf_ns=4.0 * span,
-                slow_mttr_ns=span / 8.0,
-                slow_factor=8.0,
-                seed=settings.seed,
-            )
-            base_policy = scenario_policy(span)
-            # Hedge only past the *healthy* tail at this load: threshold
-            # relative to the fault-free p99, not the uncontended
-            # latency, or ordinary queueing would trip it constantly and
-            # the extra attempts would burn the capacity hedging needs.
-            healthy = run_scenario(
-                shard_map,
-                per_shard,
-                ds.keys,
-                offered,
-                settings,
-                machine,
-                policy=base_policy,
-                faults=None,
-            )
-            hedge_ns = 3.0 * healthy.summary().p99_ns
-            off = run_scenario(
-                shard_map,
-                per_shard,
-                ds.keys,
-                offered,
-                settings,
-                machine,
-                policy=base_policy,
-                faults=gray,
-            )
-            on = run_scenario(
-                shard_map,
-                per_shard,
-                ds.keys,
-                offered,
-                settings,
-                machine,
-                policy=replace(base_policy, hedge_after_ns=hedge_ns),
-                faults=gray,
-            )
-            s_off, s_on = off.summary(), on.summary()
+            off = ClusterRunStats.from_record(off_record)
+            on = ClusterRunStats.from_record(on_record)
+            s_off, s_on = off.summary, on.summary
             rows.append(
                 (
                     name,
@@ -476,6 +576,8 @@ def run(settings: BenchSettings) -> str:
             faults=scenario_faults("crash", span, settings.seed),
             machine=machine,
             fault_horizon_ns=_horizon_ns(span),
+            jobs=settings.jobs,
+            sim_cache=sim_cache,
         )
         rows = []
         eligible = {c.index for c in selection.eligible()}
@@ -550,10 +652,16 @@ def render_svgs(settings: BenchSettings, directory: str) -> List[str]:
                 per_shard, machine
             )
             points = fault_rate_series(
-                shard_map, per_shard, ds.keys, offered, settings, machine
+                shard_map,
+                per_shard,
+                ds.keys,
+                offered,
+                settings,
+                machine,
+                jobs=settings.jobs,
             )
             p99_series[name] = [
-                (rate, r.summary().p99_ns) for rate, r in points
+                (rate, r.summary.p99_ns) for rate, r in points
             ]
             avail_series[name] = [
                 (rate, r.availability) for rate, r in points

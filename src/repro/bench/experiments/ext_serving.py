@@ -19,6 +19,13 @@ Table 2) and reports:
 Simulations consume the same cached measurements as every other
 experiment -- the grid below is just the Table-2-style sweep -- so the
 driver is cheap once cells are resolved, and fully seed-deterministic.
+
+Every open-loop point is expressed as a picklable
+:class:`repro.serve.sweep.OpenLoopTask`; ``run()`` primes the whole
+dataset's task list through :func:`repro.serve.sweep.run_sim_tasks`
+(``--jobs`` processes, persistent simulation cache), after which the
+per-table helpers below hit the in-process memo.  Records are
+byte-identical whether computed inline, pooled, or replayed from cache.
 """
 
 from __future__ import annotations
@@ -30,20 +37,17 @@ from repro.bench.config import BenchSettings
 from repro.bench.experiments.common import (
     dataset_and_workload,
     fastest,
+    get_active_sim_cache,
     sweep,
     sweep_cells,
 )
 from repro.bench.harness import Measurement
 from repro.bench.report import format_table
-from repro.serve.arrivals import bursty_arrivals, poisson_arrivals
 from repro.serve.contention import MachineModel, throughput
-from repro.serve.core import (
-    ServiceModel,
-    simulate_closed_loop,
-    simulate_open_loop,
-)
+from repro.serve.core import ServiceModel, simulate_closed_loop
 from repro.serve.metrics import LatencySummary, summarize_result
 from repro.serve.selector import select_under_slo
+from repro.serve.sweep import open_loop_summary, open_loop_task, run_sim_tasks
 
 INDEXES = ["RMI", "PGM", "BTree"]
 DATASETS = ["amzn", "osm"]
@@ -90,6 +94,48 @@ def capacity_per_sec(
     ).lookups_per_sec
 
 
+def curve_tasks(
+    measurement: Measurement,
+    settings: BenchSettings,
+    machine: MachineModel = MachineModel(),
+    fractions: Sequence[float] = LOAD_FRACTIONS,
+    n_cores: int = SIM_CORES,
+):
+    """(load fraction, offered rate, OpenLoopTask) per curve point."""
+    cap = capacity_per_sec(measurement, machine, n_cores)
+    n_req = _n_requests(settings)
+    return [
+        (
+            frac,
+            cap * frac,
+            open_loop_task(
+                measurement, cap * frac, n_req, settings.seed, n_cores, machine
+            ),
+        )
+        for frac in fractions
+    ]
+
+
+def shape_tasks(
+    measurement: Measurement,
+    settings: BenchSettings,
+    machine: MachineModel = MachineModel(),
+    load_fraction: float = 0.7,
+    n_cores: int = SIM_CORES,
+):
+    """The open-loop (Poisson, bursty) tasks of the shape comparison."""
+    cap = capacity_per_sec(measurement, machine, n_cores)
+    rate = cap * load_fraction
+    n_req = _n_requests(settings)
+    return [
+        open_loop_task(
+            measurement, rate, n_req, settings.seed, n_cores, machine,
+            shape=shape,
+        )
+        for shape in ("poisson", "bursty")
+    ]
+
+
 def latency_curve(
     measurement: Measurement,
     settings: BenchSettings,
@@ -97,16 +143,19 @@ def latency_curve(
     fractions: Sequence[float] = LOAD_FRACTIONS,
     n_cores: int = SIM_CORES,
 ) -> List[Tuple[float, float, LatencySummary]]:
-    """(load fraction, offered rate, summary) per point, Poisson traffic."""
-    service = ServiceModel.from_measurement(measurement, machine=machine)
-    cap = capacity_per_sec(measurement, machine, n_cores)
-    n_req = _n_requests(settings)
-    out = []
-    for frac in fractions:
-        arrivals = poisson_arrivals(cap * frac, n_req, settings.seed)
-        result = simulate_open_loop(service, arrivals, n_cores)
-        out.append((frac, cap * frac, summarize_result(result)))
-    return out
+    """(load fraction, offered rate, summary) per point, Poisson traffic.
+
+    Points resolve through :func:`repro.serve.sweep.run_sim_tasks`, so a
+    prior batched run (or a warm persistent cache) makes this free.
+    """
+    points = curve_tasks(measurement, settings, machine, fractions, n_cores)
+    records = run_sim_tasks(
+        [task for _, _, task in points], cache=get_active_sim_cache()
+    )
+    return [
+        (frac, offered, open_loop_summary(record)[0])
+        for (frac, offered, _), record in zip(points, records)
+    ]
 
 
 def arrival_shape_summaries(
@@ -116,24 +165,26 @@ def arrival_shape_summaries(
     load_fraction: float = 0.7,
     n_cores: int = SIM_CORES,
 ) -> Dict[str, LatencySummary]:
-    """Poisson vs bursty vs closed-loop at one offered load."""
+    """Poisson vs bursty vs closed-loop at one offered load.
+
+    The open-loop shapes route through the task runner; the closed loop
+    is state-dependent (think times depend on completions) and runs
+    inline.
+    """
+    records = run_sim_tasks(
+        shape_tasks(measurement, settings, machine, load_fraction, n_cores),
+        cache=get_active_sim_cache(),
+    )
+    out: Dict[str, LatencySummary] = {
+        name: open_loop_summary(record)[0]
+        for name, record in zip(("poisson", "bursty"), records)
+    }
     service = ServiceModel.from_measurement(measurement, machine=machine)
-    cap = capacity_per_sec(measurement, machine, n_cores)
-    rate = cap * load_fraction
-    n_req = _n_requests(settings)
-    out: Dict[str, LatencySummary] = {}
-    for name, arrivals in (
-        ("poisson", poisson_arrivals(rate, n_req, settings.seed)),
-        ("bursty", bursty_arrivals(rate, n_req, settings.seed)),
-    ):
-        out[name] = summarize_result(
-            simulate_open_loop(service, arrivals, n_cores)
-        )
     out["closed"] = summarize_result(
         simulate_closed_loop(
             service,
             n_clients=2 * n_cores,
-            n_requests=n_req,
+            n_requests=_n_requests(settings),
             mean_think_ns=0.0,
             seed=settings.seed,
             n_cores=n_cores,
@@ -150,6 +201,7 @@ def run(settings: BenchSettings) -> str:
         f"({SIM_CORES} cores, {n_req} requests per point, "
         f"seed {settings.seed})\n"
     ]
+    sim_cache = get_active_sim_cache()
     for ds_name in _datasets(settings):
         ds, wl = dataset_and_workload(ds_name, settings)
         sweeps = {
@@ -157,6 +209,26 @@ def run(settings: BenchSettings) -> str:
             for name in _indexes(settings)
         }
         pinned = {name: fastest(ms) for name, ms in sweeps.items()}
+        candidates: List[Measurement] = [
+            m for ms in sweeps.values() for m in ms
+        ]
+        slo_offered = SLO_LOAD_FRACTION * max(
+            capacity_per_sec(m, machine) for m in candidates
+        )
+
+        # Prime every open-loop simulation of this dataset in one batch:
+        # curve points, shape comparisons, and the SLO candidates fan
+        # out over --jobs processes (and the persistent cache), then the
+        # table-building calls below hit the in-process memo.
+        tasks = []
+        for m in pinned.values():
+            tasks.extend(task for _, _, task in curve_tasks(m, settings, machine))
+            tasks.extend(shape_tasks(m, settings, machine))
+        tasks.extend(
+            open_loop_task(m, slo_offered, n_req, settings.seed, SIM_CORES, machine)
+            for m in candidates
+        )
+        run_sim_tasks(tasks, jobs=settings.jobs, cache=sim_cache)
 
         rows = []
         for name, m in pinned.items():
@@ -224,22 +296,18 @@ def run(settings: BenchSettings) -> str:
         )
         parts.append("")
 
-        candidates: List[Measurement] = [
-            m for ms in sweeps.values() for m in ms
-        ]
         best_latency = min(m.latency_ns for m in candidates)
         slo_ns = SLO_FACTOR * best_latency
-        offered = SLO_LOAD_FRACTION * max(
-            capacity_per_sec(m, machine) for m in candidates
-        )
         selection = select_under_slo(
             candidates,
-            offered_per_sec=offered,
+            offered_per_sec=slo_offered,
             p99_slo_ns=slo_ns,
             n_requests=n_req,
             seed=settings.seed,
             n_cores=SIM_CORES,
             machine=machine,
+            jobs=settings.jobs,
+            sim_cache=sim_cache,
         )
         rows = []
         for c in selection.candidates:
@@ -255,7 +323,7 @@ def run(settings: BenchSettings) -> str:
             )
         parts.append(
             f"SLO selection, {ds_name}: cheapest index with "
-            f"p99 <= {slo_ns:.0f} ns at {offered / 1e6:.1f} M/s offered"
+            f"p99 <= {slo_ns:.0f} ns at {slo_offered / 1e6:.1f} M/s offered"
         )
         parts.append(
             format_table(

@@ -24,6 +24,12 @@ Everything downstream of the cells is deterministic replay, as for every
 serving experiment: specs and traces are pure data, shedding decisions
 are pure functions of (config, queue state), so the tables are
 bit-identical across serial runs, ``--jobs N``, and cache replay.
+
+The flash-crowd comparisons and the depth sweep route through
+:class:`repro.serve.sweep.ScenarioTask` batches (``--jobs`` processes,
+persistent simulation cache); the mixed-tenant day runs inline because
+the record-replay table needs its actual :class:`TenantTrace`, not just
+the summary record.
 """
 
 from __future__ import annotations
@@ -33,7 +39,7 @@ from typing import Dict, List, Sequence, Tuple
 from repro.bench.cache import scenario_key
 from repro.bench.cells import MeasureCell
 from repro.bench.config import BenchSettings
-from repro.bench.experiments.common import sweep_cells
+from repro.bench.experiments.common import get_active_sim_cache, sweep_cells
 from repro.bench.experiments.ext_cluster import (
     N_REPLICAS,
     N_SHARDS,
@@ -57,6 +63,7 @@ from repro.serve.scenario import (
     TenantSpec,
     TopologySpec,
 )
+from repro.serve.sweep import TenancyRunStats, run_sim_tasks, scenario_task
 from repro.serve.tenancy import TenancyResult, replay_trace, simulate_scenario
 from repro.serve.trace import TenantTrace
 
@@ -275,6 +282,46 @@ def _tenant_rows(result: TenancyResult) -> List[Tuple[str, ...]]:
     return rows
 
 
+def _tenant_rows_from_stats(
+    spec: ScenarioSpec, stats: TenancyRunStats
+) -> List[Tuple[str, ...]]:
+    """:func:`_tenant_rows` over a cached run record (byte-identical:
+    the record's floats survive the JSON round trip losslessly)."""
+    rows = []
+    for ts in stats.tenants:
+        s = ts.summary
+        met = ts.slo_met()
+        rows.append(
+            (
+                ts.name,
+                ts.slo_class,
+                spec.tenants[ts.tenant].arrivals.shape,
+                str(ts.requests),
+                str(ts.completed),
+                str(ts.shed),
+                f"{ts.goodput:.4f}",
+                "-" if s is None else f"{s.p50_ns:.0f}",
+                "-" if s is None else f"{s.p99_ns:.0f}",
+                "-" if met is None else ("yes" if met else "NO"),
+            )
+        )
+    return rows
+
+
+def _scenario_run_task(
+    spec: ScenarioSpec,
+    ds_name: str,
+    settings: BenchSettings,
+    per_shard: Sequence[Measurement],
+    machine: MachineModel,
+):
+    """One scenario replay as a picklable task; the worker rebuilds the
+    dataset and shard map from (dataset, n_keys, seed)."""
+    return scenario_task(
+        spec, ds_name, settings.n_keys, settings.seed, per_shard, machine
+    )
+
+
 _TENANT_HEADER = [
     "tenant",
     "class",
@@ -326,19 +373,29 @@ def run(settings: BenchSettings) -> str:
         parts.append("")
 
         # -- flash crowd: admission off vs on --------------------------
+        flash = [
+            (
+                label,
+                flash_spec(offered, n_req, settings.seed, slo_ns, admission),
+            )
+            for label, admission in (
+                ("off", AdmissionSpec()),
+                ("on", ADMISSION),
+            )
+        ]
+        records = run_sim_tasks(
+            [
+                _scenario_run_task(spec, ds_name, settings, per_shard, machine)
+                for _, spec in flash
+            ],
+            jobs=settings.jobs,
+            cache=get_active_sim_cache(),
+        )
         rows = []
-        for label, admission in (
-            ("off", AdmissionSpec()),
-            ("on", ADMISSION),
-        ):
-            spec = flash_spec(
-                offered, n_req, settings.seed, slo_ns, admission
-            )
-            result = simulate_scenario(
-                spec, services, ds.keys, shard_map=shard_map
-            )
-            result.to_metrics()
-            for row in _tenant_rows(result):
+        for (label, spec), record in zip(flash, records):
+            stats = TenancyRunStats.from_record(record)
+            stats.to_metrics()
+            for row in _tenant_rows_from_stats(spec, stats):
                 rows.append((label,) + row)
         parts.append(
             f"flash crowd vs admission control, {ds_name} (bronze "
@@ -393,32 +450,46 @@ def depth_sweep_series(
     settings: BenchSettings,
     machine: MachineModel,
 ) -> Tuple[List[Tuple[float, float]], List[Tuple[float, float]]]:
-    """(gold p99, bronze shed fraction) vs bronze admission depth."""
-    ds = make_dataset(
-        ds_name, settings.n_keys, seed=settings.seed, key_bits=64
-    )
-    shard_map = ShardMap.from_keys(ds.keys, N_SHARDS)
+    """(gold p99, bronze shed fraction) vs bronze admission depth.
+
+    The whole sweep is one :func:`run_sim_tasks` batch, so it fans out
+    over ``--jobs`` processes and replays from the persistent cache.
+    """
     per_shard = shard_measurements(ds_name, _index(settings), settings)
     services = _services(per_shard, machine)
     offered = LOAD_FRACTION * cluster_capacity_per_sec(per_shard, machine)
     slo_ns = _gold_slo_ns(services)
     n_req = _n_requests(settings)
+    specs = [
+        flash_spec(
+            offered,
+            n_req,
+            settings.seed,
+            slo_ns,
+            AdmissionSpec(
+                enabled=True, bronze_depth=depth, silver_depth=3 * depth
+            ),
+        )
+        for depth in DEPTH_SWEEP
+    ]
+    records = run_sim_tasks(
+        [
+            _scenario_run_task(spec, ds_name, settings, per_shard, machine)
+            for spec in specs
+        ],
+        jobs=settings.jobs,
+        cache=get_active_sim_cache(),
+    )
     p99_points: List[Tuple[float, float]] = []
     shed_points: List[Tuple[float, float]] = []
-    for depth in DEPTH_SWEEP:
-        admission = AdmissionSpec(
-            enabled=True, bronze_depth=depth, silver_depth=3 * depth
-        )
-        spec = flash_spec(offered, n_req, settings.seed, slo_ns, admission)
-        result = simulate_scenario(
-            spec, services, ds.keys, shard_map=shard_map
-        )
-        gold = result.by_name("gold").summary()
+    for depth, record in zip(DEPTH_SWEEP, records):
+        stats = TenancyRunStats.from_record(record)
+        gold = stats.by_name("gold").summary
         p99_points.append(
             (float(depth), gold.p99_ns if gold is not None else 0.0)
         )
         shed_points.append(
-            (float(depth), result.by_name("bronze").shed_fraction)
+            (float(depth), stats.by_name("bronze").shed_fraction)
         )
     return p99_points, shed_points
 

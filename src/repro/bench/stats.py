@@ -36,36 +36,47 @@ def percentile(values: Sequence[float], q: float) -> float:
     """
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {q}")
-    xs = sorted(float(v) for v in values)
-    if not xs:
+    xs = _sorted_array(values)
+    if xs.size == 0:
         raise ValueError("percentile of empty sequence")
-    if len(xs) == 1:
-        return xs[0]
-    rank = (q / 100.0) * (len(xs) - 1)
-    lo = math.floor(rank)
-    hi = min(lo + 1, len(xs) - 1)
-    return xs[lo] + (xs[hi] - xs[lo]) * (rank - lo)
+    return _interpolate(xs, q)
 
 
 def percentiles(
     values: Sequence[float], qs: Sequence[float] = TAIL_PERCENTILES
 ) -> Dict[float, float]:
     """Several percentiles of one sample, sorting it only once."""
-    xs = sorted(float(v) for v in values)
-    if not xs:
+    xs = _sorted_array(values)
+    if xs.size == 0:
         raise ValueError("percentiles of empty sequence")
     out: Dict[float, float] = {}
     for q in qs:
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
-        if len(xs) == 1:
-            out[q] = xs[0]
-            continue
-        rank = (q / 100.0) * (len(xs) - 1)
-        lo = math.floor(rank)
-        hi = min(lo + 1, len(xs) - 1)
-        out[q] = xs[lo] + (xs[hi] - xs[lo]) * (rank - lo)
+        out[q] = _interpolate(xs, q)
     return out
+
+
+def _sorted_array(values: Sequence[float]) -> np.ndarray:
+    """One numpy sort instead of a Python-object sort; same order (IEEE
+    doubles, no NaNs expected in a latency trace), so the bracketing
+    order statistics -- and therefore the result -- are unchanged."""
+    return np.sort(np.asarray(values, dtype=np.float64))
+
+
+def _interpolate(xs: np.ndarray, q: float) -> float:
+    """The exact interpolation step, in scalar Python-float arithmetic
+    (bit-identical to the historical pure-Python implementation, which
+    ``tests/test_fastsim.py`` pins with a hypothesis parity suite)."""
+    n = int(xs.size)
+    if n == 1:
+        return float(xs[0])
+    rank = (q / 100.0) * (n - 1)
+    lo = math.floor(rank)
+    hi = min(lo + 1, n - 1)
+    x_lo = float(xs[lo])
+    x_hi = float(xs[hi])
+    return x_lo + (x_hi - x_lo) * (rank - lo)
 
 
 def p50(values: Sequence[float]) -> float:

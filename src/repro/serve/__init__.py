@@ -23,6 +23,12 @@ deliver, and which index should serve a given load under a
   :mod:`repro.serve.trace` -- declarative multi-tenant scenario specs,
   admission control with SLO-class load shedding, and trace
   record-replay; see ``docs/tenancy.md``.
+* :mod:`repro.serve.fastsim` -- the ``fast`` serving engine: a
+  vectorized Lindley-recursion kernel plus batch-sorted event queues,
+  byte-identical to the event loop (``--serve-engine`` /
+  ``REPRO_SERVE_ENGINE``); see ``docs/serving_fast.md``.
+* :mod:`repro.serve.sweep` -- simulations as picklable tasks: process-
+  pool fan-out with a persistent, engine-invariant result cache.
 
 Driven end-to-end by the ``ext_serving``, ``ext_cluster`` and
 ``ext_tenants`` experiments (``python -m repro.bench --experiment
@@ -53,6 +59,11 @@ from repro.serve.core import (
 )
 from repro.serve.cluster import Cluster, ClusterResult, simulate_cluster
 from repro.serve.faults import FaultConfig, FaultEvent, fault_schedule
+from repro.serve.fastsim import (
+    SERVE_ENGINE_NAMES,
+    default_serve_engine_name,
+    resolve_serve_engine,
+)
 from repro.serve.metrics import LatencySummary, summarize, summarize_result
 from repro.serve.router import RouterPolicy, ShardMap, request_keys
 from repro.serve.scenario import (
@@ -76,6 +87,19 @@ from repro.serve.selector import (
     select_cluster_under_slo,
     select_under_slo,
     selection_from_candidates,
+)
+from repro.serve.sweep import (
+    ClusterRunStats,
+    ClusterTask,
+    OpenLoopTask,
+    ScenarioTask,
+    SimRunnerStats,
+    TenancyRunStats,
+    cluster_task,
+    open_loop_summary,
+    open_loop_task,
+    run_sim_tasks,
+    scenario_task,
 )
 from repro.serve.tenancy import (
     TenancyResult,
@@ -139,4 +163,18 @@ __all__ = [
     "should_shed",
     "simulate_scenario",
     "replay_trace",
+    "SERVE_ENGINE_NAMES",
+    "default_serve_engine_name",
+    "resolve_serve_engine",
+    "OpenLoopTask",
+    "ClusterTask",
+    "ScenarioTask",
+    "ClusterRunStats",
+    "TenancyRunStats",
+    "SimRunnerStats",
+    "open_loop_task",
+    "cluster_task",
+    "scenario_task",
+    "open_loop_summary",
+    "run_sim_tasks",
 ]

@@ -245,11 +245,29 @@ class ClusterResult:
 
 
 class _ClusterSim:
-    """One run's mutable state; :func:`simulate_cluster` drives it."""
+    """One run's mutable state; :func:`simulate_cluster` drives it.
 
-    def __init__(self, cluster: Cluster, horizon_ns: float):
+    ``engine`` selects the event-queue implementation (``None`` = the
+    ambient default): the fast engine's :class:`~repro.serve.fastsim.
+    SealedEventQueue` batch-sorts the up-front events -- every arrival
+    plus the merged fault timeline -- in one pass instead of heap-pushing
+    them individually, and pops the identical total order, so results
+    are byte-identical across engines.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        horizon_ns: float,
+        engine: Optional[str] = None,
+    ):
+        from repro.serve import fastsim
+
         self.cluster = cluster
-        self.events = EventHeap()
+        if fastsim.resolve_serve_engine(engine) == "fast":
+            self.events = fastsim.SealedEventQueue()
+        else:
+            self.events = EventHeap()
         self.replicas: List[List[_Replica]] = []
         for shard in range(cluster.n_shards):
             row = []
@@ -286,21 +304,28 @@ class _ClusterSim:
 
     # -- event generation ---------------------------------------------------
 
-    def _make_record(self, rid: int, key: int, t: float) -> ClusterRequest:
+    def _make_record(
+        self, rid: int, key: int, t: float, shard: int
+    ) -> ClusterRequest:
         """Record factory; the tenancy layer overrides this to attach
-        tenant identity without perturbing the event stream."""
+        tenant identity without perturbing the event stream.  ``shard``
+        is precomputed for the whole batch by ``load``."""
         return ClusterRequest(
             rid=rid,
             key=int(key),
-            shard=self.cluster.shard_map.shard_for(key),
+            shard=shard,
             arrival_ns=float(t),
         )
 
     def load(self, arrivals_ns: Sequence[float], keys: Sequence[int]) -> None:
         """Push arrivals first (sequence numbers 0..n-1, exactly as the
-        single-node simulator does), then the fault schedule."""
+        single-node simulator does), then the fault schedule.  Shard
+        routing is vectorized over the whole key batch up front
+        (:meth:`~repro.serve.router.ShardMap.shards_for`, exactly
+        ``shard_for`` per key)."""
+        shards = self.cluster.shard_map.shards_for(keys)
         for rid, (t, key) in enumerate(zip(arrivals_ns, keys)):
-            record = self._make_record(rid, key, t)
+            record = self._make_record(rid, key, t, shards[rid])
             self.records.append(record)
             self.events.push(float(t), _ARRIVAL, record)
         for event in self.schedule:
@@ -505,6 +530,7 @@ def simulate_cluster(
     arrivals_ns: Sequence[float],
     keys: Sequence[int],
     fault_horizon_ns: Optional[float] = None,
+    engine: Optional[str] = None,
 ) -> ClusterResult:
     """Run one open-loop trace through the cluster; fully deterministic.
 
@@ -512,7 +538,8 @@ def simulate_cluster(
     ``arrivals_ns[i]``; the router shards on it.  ``fault_horizon_ns``
     bounds the fault schedule (default: last arrival plus 25% drain
     slack) -- it only changes which faults exist, never how any given
-    schedule is replayed.
+    schedule is replayed.  ``engine`` picks the serving engine (``None``
+    = ambient default); engines produce byte-identical results.
     """
     if len(arrivals_ns) != len(keys):
         raise ValueError(
@@ -523,6 +550,6 @@ def simulate_cluster(
     if fault_horizon_ns is None:
         last = float(arrivals_ns[-1])
         fault_horizon_ns = last + max(0.25 * last, 1e6)
-    sim = _ClusterSim(cluster, horizon_ns=fault_horizon_ns)
+    sim = _ClusterSim(cluster, horizon_ns=fault_horizon_ns, engine=engine)
     sim.load(arrivals_ns, keys)
     return sim.run()

@@ -242,9 +242,25 @@ def simulate_open_loop(
     service: ServiceModel,
     arrivals_ns: Sequence[float],
     n_cores: int,
+    engine: Optional[str] = None,
 ) -> ServingResult:
-    """Serve pre-generated arrival timestamps (open loop)."""
-    loop = _EventLoop(service, n_cores)
+    """Serve pre-generated arrival timestamps (open loop).
+
+    ``engine`` picks the simulation engine (``None`` = the ambient
+    default, ``$REPRO_SERVE_ENGINE`` or ``"event"``).  Engines are
+    byte-identical; the fast engine uses the vectorized Lindley kernel
+    where it applies (:func:`repro.serve.fastsim.kernel_applies`) and
+    otherwise falls back to this event loop over a batch-sorted queue.
+    """
+    from repro.serve import fastsim
+
+    events = None
+    if fastsim.resolve_serve_engine(engine) == "fast":
+        result = fastsim.lindley_open_loop(service, arrivals_ns, n_cores)
+        if result is not None:
+            return result
+        events = fastsim.SealedEventQueue()
+    loop = _EventLoop(service, n_cores, events=events)
     for rid, t in enumerate(arrivals_ns):
         loop.push(float(t), _ARRIVAL, Request(rid=rid, arrival_ns=float(t)))
     while loop.events:
@@ -263,16 +279,25 @@ def simulate_closed_loop(
     mean_think_ns: float,
     seed: int,
     n_cores: int,
+    engine: Optional[str] = None,
 ) -> ServingResult:
     """Closed loop: each client re-issues after completion + think time.
 
     Exactly ``n_requests`` requests are issued in total, spread over
     ``n_clients`` concurrent clients (client ``i`` gets its own seeded
-    think-time sequence); all clients start at time zero.
+    think-time sequence); all clients start at time zero.  Closed-loop
+    arrivals depend on completions, so both engines run this event loop
+    (the fast engine swaps in the batch-sorted queue); results are
+    byte-identical either way.
     """
     if n_clients < 1:
         raise ValueError(f"need at least one client, got {n_clients}")
-    loop = _EventLoop(service, n_cores)
+    from repro.serve import fastsim
+
+    events = None
+    if fastsim.resolve_serve_engine(engine) == "fast":
+        events = fastsim.SealedEventQueue()
+    loop = _EventLoop(service, n_cores, events=events)
     per_client = (n_requests + n_clients - 1) // n_clients
     thinks = {
         c: think_times_ns(mean_think_ns, per_client, seed + 7919 * c)

@@ -49,6 +49,37 @@ class ShardMap:
         """Binary-search shard lookup (clamped below the first bound)."""
         return max(bisect_right(self._bounds, int(key)) - 1, 0)
 
+    def shards_for(self, keys: Sequence[int]) -> List[int]:
+        """Vectorized :meth:`shard_for` over a key batch.
+
+        ``np.searchsorted(bounds, key, side="right")`` is ``bisect_right``
+        in pure integer arithmetic, so the result equals the scalar path
+        element for element; inputs numpy cannot represent losslessly
+        (mixed-sign 64-bit extremes, arbitrary-precision ints) fall back
+        to the scalar loop rather than risk a wrapping cast.
+        """
+        arr = np.asarray(keys)
+        if arr.size == 0:
+            return []
+        try:
+            if arr.dtype.kind == "u":
+                if self._bounds[0] >= 0:
+                    bounds = np.asarray(self._bounds, dtype=np.uint64)
+                elif int(arr.max()) <= np.iinfo(np.int64).max:
+                    arr = arr.astype(np.int64)
+                    bounds = np.asarray(self._bounds, dtype=np.int64)
+                else:
+                    raise OverflowError
+            elif arr.dtype.kind == "i":
+                bounds = np.asarray(self._bounds, dtype=np.int64)
+            else:
+                raise OverflowError
+        except OverflowError:
+            return [self.shard_for(key) for key in keys]
+        idx = np.searchsorted(bounds, arr, side="right").astype(np.int64) - 1
+        np.maximum(idx, 0, out=idx)
+        return idx.tolist()
+
     @classmethod
     def from_keys(cls, keys: Sequence[int], n_shards: int) -> "ShardMap":
         """Equal-count split of a sorted key array into ``n_shards`` ranges.

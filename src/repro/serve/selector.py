@@ -110,6 +110,8 @@ def select_under_slo(
     n_cores: int = 4,
     machine: MachineModel = MachineModel(),
     fence: bool = False,
+    jobs: Optional[int] = None,
+    sim_cache=None,
 ) -> Selection:
     """Pick the cheapest index meeting the SLO at the offered load.
 
@@ -118,20 +120,56 @@ def select_under_slo(
     identical tie-breaks).  The winner is the eligible candidate with the
     smallest memory footprint; ties break on lower p99, then on
     ``(index, sorted config)`` for full determinism.
+
+    ``jobs``/``sim_cache`` route each candidate simulation through the
+    :mod:`repro.serve.sweep` runner (a ``--jobs`` process pool and/or a
+    persistent :class:`~repro.bench.cache.SimResultCache`); with both
+    ``None`` the simulations run inline.  The paths are byte-identical
+    -- simulations are pure functions of their seeds -- so this changes
+    wall-clock only, never the selection.
     """
-    candidates = [
-        evaluate_candidate(
-            m,
-            offered_per_sec,
-            n_requests,
-            seed,
-            n_cores,
-            machine,
-            fence,
-            slo_p99_ns=p99_slo_ns,
+    if jobs is None and sim_cache is None:
+        candidates = [
+            evaluate_candidate(
+                m,
+                offered_per_sec,
+                n_requests,
+                seed,
+                n_cores,
+                machine,
+                fence,
+                slo_p99_ns=p99_slo_ns,
+            )
+            for m in measurements
+        ]
+    else:
+        from repro.serve.sweep import (
+            open_loop_summary,
+            open_loop_task,
+            run_sim_tasks,
         )
-        for m in measurements
-    ]
+
+        ms = list(measurements)
+        tasks = [
+            open_loop_task(
+                m, offered_per_sec, n_requests, seed, n_cores, machine, fence
+            )
+            for m in ms
+        ]
+        records = run_sim_tasks(tasks, jobs=jobs, cache=sim_cache)
+        candidates = []
+        for m, record in zip(ms, records):
+            summary, queue_stats = open_loop_summary(record)
+            summary.to_metrics(slo_p99_ns=p99_slo_ns, result=queue_stats)
+            candidates.append(
+                Candidate(
+                    index=m.index,
+                    config=dict(m.config),
+                    size_bytes=m.size_bytes,
+                    saturation_per_sec=saturation_throughput(m, machine),
+                    summary=summary,
+                )
+            )
     return selection_from_candidates(
         candidates, offered_per_sec, p99_slo_ns, memory_budget_bytes
     )
@@ -250,6 +288,8 @@ def select_cluster_under_slo(
     machine: MachineModel = MachineModel(),
     fence: bool = False,
     fault_horizon_ns: Optional[float] = None,
+    jobs: Optional[int] = None,
+    sim_cache=None,
 ) -> ClusterSelection:
     """Cluster-aware ``select_under_slo``: cheapest index family that
     meets the p99 SLO and the per-shard memory budget under faults.
@@ -261,6 +301,10 @@ def select_cluster_under_slo(
     fault schedule, so the comparison isolates the index.  The winner is
     the eligible family with the smallest total footprint; ties break on
     lower p99, then family name.
+
+    ``jobs``/``sim_cache`` route each family's cluster replay through
+    the :mod:`repro.serve.sweep` runner; with both ``None`` the replays
+    run inline.  Byte-identical either way -- wall-clock only.
     """
     # Imported lazily: cluster imports this module's ServiceModel host
     # package, and keeping selector importable without cluster avoids a
@@ -270,38 +314,90 @@ def select_cluster_under_slo(
 
     if policy is None:
         policy = RouterPolicy()
-    arrivals = poisson_arrivals(offered_per_sec, n_requests, seed)
     lookup_keys = request_keys(keys, n_requests, seed)
     candidates: List[ClusterCandidate] = []
-    for family in sorted(shard_measurements):
-        per_shard = list(shard_measurements[family])
-        cluster = Cluster(
-            shard_map=shard_map,
-            services=[
-                ServiceModel.from_measurement(m, fence=fence, machine=machine)
-                for m in per_shard
-            ],
-            n_replicas=n_replicas,
-            n_cores=n_cores,
-            policy=policy,
-            faults=faults,
-        )
-        result = simulate_cluster(
-            cluster, arrivals, lookup_keys, fault_horizon_ns=fault_horizon_ns
-        )
-        summary = result.summary() if result.completed else None
-        result.to_metrics()
-        candidates.append(
-            ClusterCandidate(
-                index=family,
-                per_shard_size_bytes=tuple(m.size_bytes for m in per_shard),
-                summary=summary,
-                availability=result.availability,
-                total_retries=result.total_retries,
-                total_hedges=result.total_hedges,
-                max_queue_depth=result.max_queue_depth,
+    if jobs is None and sim_cache is None:
+        arrivals = poisson_arrivals(offered_per_sec, n_requests, seed)
+        for family in sorted(shard_measurements):
+            per_shard = list(shard_measurements[family])
+            cluster = Cluster(
+                shard_map=shard_map,
+                services=[
+                    ServiceModel.from_measurement(
+                        m, fence=fence, machine=machine
+                    )
+                    for m in per_shard
+                ],
+                n_replicas=n_replicas,
+                n_cores=n_cores,
+                policy=policy,
+                faults=faults,
             )
+            result = simulate_cluster(
+                cluster,
+                arrivals,
+                lookup_keys,
+                fault_horizon_ns=fault_horizon_ns,
+            )
+            summary = result.summary() if result.completed else None
+            result.to_metrics()
+            candidates.append(
+                ClusterCandidate(
+                    index=family,
+                    per_shard_size_bytes=tuple(
+                        m.size_bytes for m in per_shard
+                    ),
+                    summary=summary,
+                    availability=result.availability,
+                    total_retries=result.total_retries,
+                    total_hedges=result.total_hedges,
+                    max_queue_depth=result.max_queue_depth,
+                )
+            )
+    else:
+        from repro.serve.sweep import (
+            ClusterRunStats,
+            cluster_task,
+            run_sim_tasks,
         )
+
+        families = sorted(shard_measurements)
+        tasks = [
+            cluster_task(
+                list(shard_measurements[family]),
+                shard_map,
+                lookup_keys,
+                offered_per_sec,
+                n_requests,
+                seed,
+                n_replicas,
+                n_cores,
+                policy,
+                faults,
+                fault_horizon_ns,
+                machine,
+                fence,
+            )
+            for family in families
+        ]
+        records = run_sim_tasks(tasks, jobs=jobs, cache=sim_cache)
+        for family, record in zip(families, records):
+            stats = ClusterRunStats.from_record(record)
+            stats.to_metrics()
+            per_shard = list(shard_measurements[family])
+            candidates.append(
+                ClusterCandidate(
+                    index=family,
+                    per_shard_size_bytes=tuple(
+                        m.size_bytes for m in per_shard
+                    ),
+                    summary=stats.summary,
+                    availability=stats.availability,
+                    total_retries=stats.total_retries,
+                    total_hedges=stats.total_hedges,
+                    max_queue_depth=stats.max_queue_depth,
+                )
+            )
     return cluster_selection_from_candidates(
         candidates,
         offered_per_sec,
@@ -328,12 +424,22 @@ def cluster_selection_from_candidates(
     )
     eligible = selection.eligible()
     if eligible:
+        # The tail of the key covers every remaining field so the order
+        # is total over candidate *content*: candidates that tie on all
+        # of it are equal, which keeps the choice invariant under any
+        # permutation of the input (property-tested).
         selection.chosen = min(
             eligible,
             key=lambda c: (
                 c.total_size_bytes,
                 c.summary.p99_ns,
                 c.index,
+                c.per_shard_size_bytes,
+                -c.availability,
+                c.total_retries,
+                c.total_hedges,
+                c.max_queue_depth,
+                tuple(sorted(c.summary.to_dict().items())),
             ),
         )
     return selection

@@ -217,16 +217,19 @@ class _TenantSim(_ClusterSim):
         horizon_ns: float,
         spec: ScenarioSpec,
         trace: TenantTrace,
+        engine: Optional[str] = None,
     ):
-        super().__init__(cluster, horizon_ns)
+        super().__init__(cluster, horizon_ns, engine=engine)
         self.spec = spec
         self.trace = trace
 
-    def _make_record(self, rid: int, key: int, t: float) -> TenantRequest:
+    def _make_record(
+        self, rid: int, key: int, t: float, shard: int
+    ) -> TenantRequest:
         return TenantRequest(
             rid=rid,
             key=int(key),
-            shard=self.cluster.shard_map.shard_for(key),
+            shard=shard,
             arrival_ns=float(t),
             tenant=int(self.trace.tenants[rid]),
         )
@@ -279,6 +282,7 @@ def replay_trace(
     services: Sequence,
     keys: Optional[Sequence[int]] = None,
     shard_map: Optional[ShardMap] = None,
+    engine: Optional[str] = None,
 ) -> TenancyResult:
     """Replay a materialized trace under a spec's topology and policies.
 
@@ -286,6 +290,8 @@ def replay_trace(
     saved trace reproduces a run byte for byte.  ``shard_map`` defaults
     to the equal-count split of ``keys`` (one of the two must be given);
     ``services[s]`` is shard ``s``'s :class:`~repro.serve.core.ServiceModel`.
+    ``engine`` picks the serving engine (``None`` = ambient default);
+    engines are byte-identical, so it never changes the result.
     """
     if trace.tenant_names != tuple(t.name for t in spec.tenants):
         raise ValueError(
@@ -308,7 +314,9 @@ def replay_trace(
     if horizon is None:
         last = float(trace.arrivals_ns[-1])
         horizon = last + max(0.25 * last, 1e6)
-    sim = _TenantSim(cluster, horizon_ns=horizon, spec=spec, trace=trace)
+    sim = _TenantSim(
+        cluster, horizon_ns=horizon, spec=spec, trace=trace, engine=engine
+    )
     sim.load([float(t) for t in trace.arrivals_ns], trace.keys)
     result = sim.run()
     return TenancyResult(
@@ -324,6 +332,7 @@ def simulate_scenario(
     services: Sequence,
     keys: Sequence[int],
     shard_map: Optional[ShardMap] = None,
+    engine: Optional[str] = None,
 ) -> TenancyResult:
     """Materialize and run a scenario against a served key array.
 
@@ -333,5 +342,5 @@ def simulate_scenario(
     """
     trace = TenantTrace.from_spec(spec, keys)
     return replay_trace(
-        spec, trace, services, keys=keys, shard_map=shard_map
+        spec, trace, services, keys=keys, shard_map=shard_map, engine=engine
     )
