@@ -12,6 +12,12 @@ PR 4 promise — *observability off by default is (near) free*:
 * ``profile_on_*`` — informational: the same cell with ``profile=True``
   (PhaseTracer attribution + replay disabled), as a slowdown factor.
 * ``sink_*`` — ``JsonlSink`` span-record throughput.
+* ``serve_telemetry_*`` — the serving-telemetry analogue of the marker
+  guard (PR 9): with telemetry off, each simulated request pays exactly
+  two ``is not None`` checks in the event loop (dispatch + finish); we
+  benchmark the check, a representative open-loop run, and assert the
+  estimated share stays under 2%.  The telemetry-on run is recorded as
+  an informational slowdown factor.
 
 Set ``BENCH_OBS_JSON`` to redirect the output path (defaults to the
 repo root).
@@ -57,6 +63,25 @@ def _write_bench_obs_json():
     if "cell_plain_seconds" in r and "cell_profiled_seconds" in r:
         r["profile_on_slowdown"] = (
             r["cell_profiled_seconds"] / r["cell_plain_seconds"]
+        )
+    if (
+        "serve_telemetry_checks_per_request" in r
+        and "serve_telemetry_noop_ns" in r
+        and "serve_sim_plain_seconds" in r
+    ):
+        r["serve_telemetry_off_share"] = (
+            _SIM_N_REQUESTS
+            * r["serve_telemetry_checks_per_request"]
+            * r["serve_telemetry_noop_ns"]
+            * 1e-9
+            / r["serve_sim_plain_seconds"]
+        )
+    if (
+        "serve_sim_plain_seconds" in r
+        and "serve_sim_telemetry_seconds" in r
+    ):
+        r["serve_telemetry_on_slowdown"] = (
+            r["serve_sim_telemetry_seconds"] / r["serve_sim_plain_seconds"]
         )
     path = os.environ.get("BENCH_OBS_JSON") or os.path.join(
         REPO_ROOT, "BENCH_obs.json"
@@ -173,6 +198,127 @@ def test_overhead_guard():
 # --------------------------------------------------------------------
 # Span sink throughput.
 # --------------------------------------------------------------------
+
+
+def _num_telemetry_checks():
+    """``is not None`` checks per request with telemetry disabled.
+
+    Pinned by inspection of :mod:`repro.serve.core`: one in
+    ``_EventLoop.dispatch`` (queue-depth sampling) and one in
+    ``_EventLoop.finish`` (completion accounting); the nested traces
+    check only runs when a collector is attached.
+    """
+    import inspect
+
+    from repro.serve.core import _EventLoop
+
+    dispatch_src = inspect.getsource(_EventLoop.dispatch)
+    finish_src = inspect.getsource(_EventLoop.finish)
+    return dispatch_src.count("telemetry is not None") + finish_src.count(
+        "telemetry is not None"
+    )
+
+
+#: Requests per serving-simulation benchmark run.
+_SIM_N_REQUESTS = 2_000
+
+
+def _sim_inputs():
+    from repro.memsim.counters import PerfCountersF
+    from repro.serve.arrivals import poisson_arrivals
+    from repro.serve.core import ServiceModel
+
+    service = ServiceModel(
+        PerfCountersF(
+            instructions=300, branch_misses=3.0, llc_misses=2.0, l1_hits=20.0
+        )
+    )
+    arrivals = poisson_arrivals(2e6, _SIM_N_REQUESTS, seed=5)
+    return service, arrivals
+
+
+def test_serve_telemetry_check_noop(benchmark):
+    """Cost of one disabled-telemetry ``is not None`` check."""
+
+    class Holder:
+        telemetry = None
+
+    holder = Holder()
+    n = 10_000
+
+    def loop():
+        hits = 0
+        for _ in range(n):
+            if holder.telemetry is not None:
+                hits += 1  # pragma: no cover - telemetry is None
+        return hits
+
+    assert benchmark(loop) == 0
+    if benchmark.stats is not None:
+        _RATES["serve_telemetry_noop_ns"] = (
+            benchmark.stats.stats.mean / n * 1e9
+        )
+        _RATES["serve_telemetry_checks_per_request"] = (
+            _num_telemetry_checks()
+        )
+
+
+def test_serve_sim_plain(benchmark):
+    """Baseline open-loop serving run, telemetry off."""
+    from repro.serve.core import simulate_open_loop
+
+    service, arrivals = _sim_inputs()
+    result = benchmark(
+        simulate_open_loop, service, arrivals, 2, engine="event"
+    )
+    assert len(result.requests) == _SIM_N_REQUESTS
+    assert result.telemetry is None
+    if benchmark.stats is not None:
+        _RATES["serve_sim_plain_seconds"] = benchmark.stats.stats.mean
+
+
+def test_serve_sim_telemetry_on(benchmark):
+    """Informational: the same run with windowed telemetry attached."""
+    from repro.serve.core import simulate_open_loop
+    from repro.serve.telemetry import TelemetryConfig
+
+    service, arrivals = _sim_inputs()
+    cfg = TelemetryConfig(window_ns=float(arrivals[-1]) / 12.0)
+    result = benchmark(
+        simulate_open_loop, service, arrivals, 2, engine="event",
+        telemetry=cfg,
+    )
+    assert result.telemetry is not None
+    if benchmark.stats is not None:
+        _RATES["serve_sim_telemetry_seconds"] = benchmark.stats.stats.mean
+
+
+def test_serve_telemetry_overhead_guard():
+    """The 2% promise for serving telemetry when disabled.
+
+    Same shape as :func:`test_overhead_guard`: estimated cost of the
+    per-request no-op checks as a share of the baseline run.
+    """
+    needed = (
+        "serve_telemetry_checks_per_request",
+        "serve_telemetry_noop_ns",
+        "serve_sim_plain_seconds",
+    )
+    if not all(k in _RATES for k in needed):
+        pytest.skip("benchmarks disabled; no timings to guard")
+    assert _RATES["serve_telemetry_checks_per_request"] == 2
+    share = (
+        _SIM_N_REQUESTS
+        * _RATES["serve_telemetry_checks_per_request"]
+        * _RATES["serve_telemetry_noop_ns"]
+        * 1e-9
+        / _RATES["serve_sim_plain_seconds"]
+    )
+    _RATES["serve_telemetry_off_share"] = share
+    assert share < MAX_MARKER_SHARE, (
+        f"disabled serving telemetry costs {share:.2%} of a "
+        f"representative run (limit {MAX_MARKER_SHARE:.0%})"
+    )
 
 
 def test_sink_throughput(benchmark, tmp_path):

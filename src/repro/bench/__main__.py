@@ -188,6 +188,11 @@ def main(argv=None) -> int:
         return 2
 
     from repro.bench.experiments import common
+    from repro.serve import telemetry as serve_telemetry
+
+    # Experiments publish telemetry unconditionally; start each run with
+    # an empty buffer so in-process re-runs don't accumulate series.
+    serve_telemetry.clear_published()
 
     cache = None
     sim_cache = None
@@ -260,6 +265,7 @@ def _write_obs(settings, runner_stats, argv) -> None:
     from repro.obs import spans as obs_spans
     from repro.obs.report import phase_breakdown_svg
     from repro.obs.sink import run_manifest, write_run
+    from repro.serve import telemetry as serve_telemetry
 
     reg = obs_metrics.get_registry()
     extra = {}
@@ -273,11 +279,17 @@ def _write_obs(settings, runner_stats, argv) -> None:
             "jobs": runner_stats.jobs,
             "wall_seconds": runner_stats.wall_seconds,
         }
+    # Serving experiments publish windowed telemetry (and trace spans)
+    # as they run; the obs sink gets them as a timeseries.jsonl stream
+    # next to the harness spans.
+    ts_records, trace_spans = serve_telemetry.drain_published()
+    spans = obs_spans.drain() + trace_spans
     paths = write_run(
         settings.obs_dir,
-        spans=obs_spans.drain(),
+        spans=spans,
         metrics_snapshot=reg.snapshot(),
         manifest=run_manifest(settings, argv=argv, extra=extra),
+        timeseries=ts_records or None,
     )
     for name in sorted(paths):
         print(f"wrote {paths[name]}")

@@ -17,7 +17,13 @@ other grid), and replays seeded traffic through
 * a cluster SLO selection table (the cluster-aware analogue of
   ``select_under_slo``): the cheapest index family whose simulated
   cluster p99 meets the SLO within a per-shard memory budget and an
-  availability floor, under crash faults.
+  availability floor, under crash faults;
+* a windowed cluster-telemetry table for the crash scenario: the same
+  replay with :class:`repro.serve.telemetry.TelemetryConfig` attached,
+  routed *through* :func:`repro.serve.sweep.run_sim_tasks` (telemetry
+  survives the task record's JSON round trip byte-identically), showing
+  per-window failures, retries and shard availability as replicas crash
+  and recover.
 
 Per-shard builds are proxy builds: shard ``i`` is measured on a dataset
 drawn from the same generator with ``n_keys / N_SHARDS`` keys and a
@@ -64,6 +70,7 @@ from repro.serve.faults import FaultConfig
 from repro.serve.router import RouterPolicy, ShardMap, request_keys
 from repro.serve.selector import select_cluster_under_slo
 from repro.serve.sweep import ClusterRunStats, cluster_task, run_sim_tasks
+from repro.serve.telemetry import TelemetryConfig, TimeSeries, publish
 
 INDEXES = ["RMI", "PGM", "BTree"]
 DATASETS = ["amzn", "osm"]
@@ -86,6 +93,8 @@ _SHARD_SEED_STRIDE = 9176
 #: Crash-intensity sweep for the SVG figures: expected crash faults per
 #: replica stream over the run.
 FAULT_RATE_SWEEP = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+#: Tumbling windows per cluster-telemetry run.
+TELEMETRY_WINDOWS = 12
 
 _SCENARIOS = ("none", "crash", "crash+slow")
 
@@ -268,6 +277,7 @@ def scenario_cluster_task(
     machine: MachineModel,
     policy: RouterPolicy = RouterPolicy(),
     faults: Optional[FaultConfig] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ):
     """:func:`run_scenario` as a picklable task (byte-identical record)."""
     n_req = _n_requests(settings)
@@ -284,6 +294,7 @@ def scenario_cluster_task(
         faults,
         _horizon_ns(_span_ns(offered_per_sec, n_req)),
         machine,
+        telemetry=telemetry,
     )
 
 
@@ -358,6 +369,10 @@ def _per_family(
 
 
 def run(settings: BenchSettings) -> str:
+    # Local for the same import-cycle reason as in ext_serving: the
+    # obs report module renders bench tables too.
+    from repro.obs.report import format_timeline
+
     machine = MachineModel()
     n_req = _n_requests(settings)
     parts = [
@@ -623,6 +638,37 @@ def run(settings: BenchSettings) -> str:
             )
         else:
             parts.append("-> chosen: none (no family meets the SLO)")
+        parts.append("")
+
+        # -- windowed cluster telemetry (crash scenario) ---------------
+        # Through the task runner, not inline: the telemetry-on task is
+        # its own cache artifact and the series survives the record's
+        # JSON round trip byte-identically, so this table replays from
+        # the persistent cache like every other.
+        tel_name = sorted(families)[0]
+        ctx = fam_ctx[tel_name]
+        tel_task = scenario_cluster_task(
+            shard_map,
+            ctx["per_shard"],
+            ds.keys,
+            ctx["offered"],
+            settings,
+            machine,
+            policy=ctx["base_policy"],
+            faults=scenario_faults("crash", ctx["span"], settings.seed),
+            telemetry=TelemetryConfig(
+                window_ns=ctx["span"] / TELEMETRY_WINDOWS
+            ),
+        )
+        record = run_sim_tasks([tel_task], cache=sim_cache)[0]
+        ts = TimeSeries.from_dict(record["telemetry"])
+        publish(f"ext_cluster/{ds_name}/{tel_name}", ts)
+        parts.append(
+            f"cluster telemetry under crash faults, {ds_name}/{tel_name} "
+            f"({ts.window_ns / 1e3:.2f} us windows over {ts.n_shards} "
+            f"shards, series {ts.content_key()[:12]})"
+        )
+        parts.append(format_timeline(ts.to_dict()))
         parts.append("")
     return "\n".join(parts)
 

@@ -14,7 +14,11 @@ Table 2) and reports:
   closed loop with two clients per core (think time zero);
 * an SLO selection table (the Table 2 analogue under load): the cheapest
   index configuration whose simulated p99 meets the SLO at a common
-  offered rate, within a memory budget.
+  offered rate, within a memory budget;
+* a windowed serving-telemetry table: one near-saturation run per
+  dataset with :class:`repro.serve.telemetry.TelemetryConfig` attached,
+  showing per-window completions, queue depth and p50/p99 as queueing
+  builds (published to ``--obs-dir`` as ``timeseries.jsonl``).
 
 Simulations consume the same cached measurements as every other
 experiment -- the grid below is just the Table-2-style sweep -- so the
@@ -43,11 +47,13 @@ from repro.bench.experiments.common import (
 )
 from repro.bench.harness import Measurement
 from repro.bench.report import format_table
+from repro.serve.arrivals import poisson_arrivals
 from repro.serve.contention import MachineModel, throughput
-from repro.serve.core import ServiceModel, simulate_closed_loop
+from repro.serve.core import ServiceModel, simulate_closed_loop, simulate_open_loop
 from repro.serve.metrics import LatencySummary, summarize_result
 from repro.serve.selector import select_under_slo
 from repro.serve.sweep import open_loop_summary, open_loop_task, run_sim_tasks
+from repro.serve.telemetry import TelemetryConfig, publish
 
 INDEXES = ["RMI", "PGM", "BTree"]
 DATASETS = ["amzn", "osm"]
@@ -62,6 +68,11 @@ SLO_FACTOR = 3.0
 #: Offered rate for the SLO table: this fraction of the fastest
 #: candidate's capacity (one common rate for every candidate).
 SLO_LOAD_FRACTION = 0.6
+#: Telemetry demo point: near saturation, where windowed queue depth
+#: and tail latency actually move over the run.
+TELEMETRY_LOAD_FRACTION = 0.85
+#: Tumbling windows per telemetry run (window = arrival span / this).
+TELEMETRY_WINDOWS = 12
 
 
 def _datasets(settings: BenchSettings) -> List[str]:
@@ -194,6 +205,11 @@ def arrival_shape_summaries(
 
 
 def run(settings: BenchSettings) -> str:
+    # Local: repro.obs.report renders *bench* tables too, so importing
+    # it at module scope would close an import cycle through the
+    # repro.bench package __init__.
+    from repro.obs.report import format_timeline
+
     machine = MachineModel()
     n_req = _n_requests(settings)
     parts = [
@@ -338,5 +354,35 @@ def run(settings: BenchSettings) -> str:
             )
         else:
             parts.append("-> chosen: none (no candidate meets the SLO)")
+        parts.append("")
+
+        # -- windowed serving telemetry at 0.85 load -------------------
+        # One near-saturation run per dataset, inline (telemetry-on
+        # tasks are distinct cache artifacts, and one run is cheap).
+        tel_name = sorted(pinned)[0]
+        tel_m = pinned[tel_name]
+        tel_rate = TELEMETRY_LOAD_FRACTION * capacity_per_sec(
+            tel_m, machine
+        )
+        span_ns = n_req / tel_rate * 1e9
+        tel_cfg = TelemetryConfig(
+            window_ns=span_ns / TELEMETRY_WINDOWS,
+            slo_p99_ns=SLO_FACTOR * tel_m.latency_ns,
+        )
+        tel_result = simulate_open_loop(
+            ServiceModel.from_measurement(tel_m, machine=machine),
+            poisson_arrivals(tel_rate, n_req, settings.seed),
+            SIM_CORES,
+            telemetry=tel_cfg,
+        )
+        ts = tel_result.telemetry
+        publish(f"ext_serving/{ds_name}/{tel_name}", ts)
+        parts.append(
+            f"serving telemetry, {ds_name}/{tel_name} at "
+            f"{TELEMETRY_LOAD_FRACTION:.2f} load "
+            f"({ts.window_ns / 1e3:.2f} us windows, SLO p99 "
+            f"{tel_cfg.slo_p99_ns:.0f} ns, series {ts.content_key()[:12]})"
+        )
+        parts.append(format_timeline(ts.to_dict()))
         parts.append("")
     return "\n".join(parts)

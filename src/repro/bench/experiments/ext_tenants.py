@@ -18,7 +18,13 @@ experiment code -- describe the scenarios.  Three tables per dataset:
   within its SLO (the headline claim, pinned by the CI smoke);
 * a **record-replay table**: spec and trace content keys
   (:func:`repro.bench.cache.scenario_key`), plus proof that a
-  serialize-reload-replay round trip reproduces the run identically.
+  serialize-reload-replay round trip reproduces the run identically;
+* a **gold burn-rate table**: the flash-crowd run re-simulated with
+  :class:`repro.serve.telemetry.TelemetryConfig` attached (admission
+  off vs on), reporting gold's per-window SLO burn rate and error-budget
+  exhaustion via :func:`repro.serve.telemetry.burn_rate_report`; the
+  admission-on run also records request traces, published as
+  ``repro.obs`` spans for the ``timeline``/``summary`` CLIs.
 
 Everything downstream of the cells is deterministic replay, as for every
 serving experiment: specs and traces are pure data, shedding decisions
@@ -64,6 +70,7 @@ from repro.serve.scenario import (
     TopologySpec,
 )
 from repro.serve.sweep import TenancyRunStats, run_sim_tasks, scenario_task
+from repro.serve.telemetry import TelemetryConfig, burn_rate_report, publish
 from repro.serve.tenancy import TenancyResult, replay_trace, simulate_scenario
 from repro.serve.trace import TenantTrace
 
@@ -92,6 +99,12 @@ BRONZE_DEPTH = 6
 SILVER_DEPTH = 18
 #: Bronze-depth sweep for the SVG figures.
 DEPTH_SWEEP = (2, 4, 6, 12, 24, 48)
+#: Tumbling windows per telemetry run.
+TELEMETRY_WINDOWS = 12
+#: Gold's error budget for the burn-rate table: at most this fraction
+#: of gold requests per window may miss the p99 SLO (or fail) before
+#: the budget burns at rate 1.
+GOLD_BUDGET_FRACTION = 0.01
 
 TOPOLOGY = TopologySpec(
     n_shards=N_SHARDS, n_replicas=N_REPLICAS, n_cores=SIM_CORES
@@ -441,6 +454,96 @@ def run(settings: BenchSettings) -> str:
                 ],
             )
         )
+        parts.append("")
+
+        # -- gold burn rate under the flash crowd ----------------------
+        # The admission off/on pair re-simulated inline with telemetry
+        # (and, for the "on" run, request traces -- published as obs
+        # spans).  Burn rate is a pure function of the series, so this
+        # table is as replay-stable as the runs themselves.
+        span_ns = n_req / offered * 1e9
+        window_ns = span_ns / TELEMETRY_WINDOWS
+        tel_results = {
+            label: simulate_scenario(
+                spec,
+                services,
+                ds.keys,
+                shard_map=shard_map,
+                telemetry=TelemetryConfig(
+                    window_ns=window_ns, traces=(label == "on")
+                ),
+            )
+            for label, spec in flash
+        }
+        publish(
+            f"ext_tenants/{ds_name}/flash-off",
+            tel_results["off"].telemetry,
+        )
+        publish(
+            f"ext_tenants/{ds_name}/flash-on",
+            tel_results["on"].telemetry,
+            traces=tel_results["on"].traces,
+        )
+        reports = {
+            label: burn_rate_report(
+                r.telemetry, GOLD_BUDGET_FRACTION, slo_class="gold"
+            )
+            for label, r in tel_results.items()
+        }
+        rows = []
+        n_windows = max(len(r.windows) for r in reports.values())
+        for i in range(n_windows):
+            row = [str(i)]
+            for label in ("off", "on"):
+                ws = reports[label].windows
+                if i < len(ws):
+                    w = ws[i]
+                    row.extend(
+                        [
+                            str(w.bad),
+                            f"{w.burn_rate:.1f}",
+                            f"{w.budget_left:.2f}",
+                        ]
+                    )
+                else:
+                    row.extend(["-", "-", "-"])
+            rows.append(tuple(row))
+        parts.append(
+            f"gold error-budget burn under the flash crowd, {ds_name} "
+            f"(budget {GOLD_BUDGET_FRACTION:.0%} of gold requests, "
+            f"{window_ns / 1e3:.2f} us windows; burn 1.0 = at budget)"
+        )
+        parts.append(
+            format_table(
+                [
+                    "win",
+                    "off bad",
+                    "off burn",
+                    "off left",
+                    "on bad",
+                    "on burn",
+                    "on left",
+                ],
+                rows,
+            )
+        )
+        for label in ("off", "on"):
+            r = reports[label]
+            exhausted = (
+                "never exhausted"
+                if r.exhausted_window is None
+                else f"exhausted in window {r.exhausted_window}"
+            )
+            tte = (
+                "-"
+                if r.time_to_exhaustion_ns is None
+                else f"{r.time_to_exhaustion_ns / 1e3:.1f} us"
+            )
+            parts.append(
+                f"-> admission {label}: {r.total_bad}/{r.total} bad, "
+                f"budget consumed {r.consumed:.2f}x, {exhausted}, "
+                f"time-to-exhaustion {tte}"
+            )
         parts.append("")
     return "\n".join(parts)
 

@@ -269,6 +269,146 @@ def worker_cells_from_spans(
     return out
 
 
+# --------------------------------------------------------------------
+# Serving-telemetry timelines (timeseries.jsonl from repro.serve.telemetry)
+# --------------------------------------------------------------------
+
+
+def format_timeline(series: dict, label: str = "") -> str:
+    """Windowed table of one serving :class:`~repro.serve.telemetry.
+    TimeSeries` in its ``to_dict`` form (as read from
+    ``timeseries.jsonl``).
+
+    One row per tumbling window: outcome counts, retry/hedge activity,
+    SLO violations, max queue depth at dispatch instants, and exact
+    windowed p50/p99 in microseconds; ``avail`` is the worst per-shard
+    availability of the window.
+    """
+    windows = series.get("windows", [])
+    if not windows:
+        return "no telemetry windows recorded"
+    window_ns = float(series.get("window_ns", 0.0))
+    rows = []
+    for w in windows:
+        completed = w["completed"]
+        avail = min(
+            (
+                c / (c + f) if (c + f) else 1.0
+                for c, f in zip(w["shard_completed"], w["shard_failed"])
+            ),
+            default=1.0,
+        )
+        rows.append(
+            (
+                w["index"],
+                f"{w['index'] * window_ns / 1e6:.2f}",
+                completed,
+                w["failed"],
+                w["shed"],
+                w["retries"],
+                w["hedges"],
+                w["violations"],
+                w["max_queue_depth"],
+                f"{w['p50_ns'] / 1e3:.1f}" if w["p50_ns"] is not None else "-",
+                f"{w['p99_ns'] / 1e3:.1f}" if w["p99_ns"] is not None else "-",
+                f"{avail:.3f}",
+            )
+        )
+    table = format_table(
+        [
+            "win",
+            "t0 ms",
+            "done",
+            "fail",
+            "shed",
+            "retry",
+            "hedge",
+            "viol",
+            "maxq",
+            "p50 us",
+            "p99 us",
+            "avail",
+        ],
+        rows,
+    )
+    if label:
+        return f"{label} (window={window_ns / 1e6:.2f} ms)\n{table}"
+    return table
+
+
+def timeline_svg(series: dict, title: str = "") -> str:
+    """Per-window stacked outcome bars with a p99 latency line.
+
+    Dependency-free SVG in the :func:`phase_breakdown_svg` style: one
+    vertical bar per tumbling window (completed / failed / shed,
+    Okabe-Ito palette), the windowed p99 as a polyline on its own scale,
+    hover titles with the exact values.
+    """
+    windows = series.get("windows", [])
+    if not windows:
+        return "<svg xmlns='http://www.w3.org/2000/svg'/>"
+    colors = {
+        "completed": "#0072B2",
+        "failed": "#D55E00",
+        "shed": "#E69F00",
+    }
+    p99_color = "#009E73"
+    left, top, width, plot_h = 50, 46, 900, 180
+    plot_w = width - left - 30
+    height = top + plot_h + 60
+    bar_w = plot_w / len(windows)
+    max_count = max(
+        (w["completed"] + w["failed"] + w["shed"] for w in windows)
+    ) or 1
+    p99s = [w["p99_ns"] for w in windows if w["p99_ns"] is not None]
+    max_p99 = max(p99s) if p99s else 0.0
+    out = [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' "
+        f"height='{height}' font-family='sans-serif' font-size='12'>",
+        f"<text x='{left}' y='20' font-size='15'>"
+        f"{title or 'Serving telemetry timeline'}</text>",
+    ]
+    for i, w in enumerate(windows):
+        x = left + i * bar_w
+        y = float(top + plot_h)
+        for kind in ("completed", "failed", "shed"):
+            value = w[kind]
+            if not value:
+                continue
+            h = plot_h * value / max_count
+            y -= h
+            out.append(
+                f"<rect x='{x:.1f}' y='{y:.1f}' "
+                f"width='{max(bar_w - 1.0, 0.5):.1f}' height='{h:.1f}' "
+                f"fill='{colors[kind]}'><title>window {w['index']}: "
+                f"{kind}={value}</title></rect>"
+            )
+    if max_p99 > 0.0:
+        points = []
+        for i, w in enumerate(windows):
+            if w["p99_ns"] is None:
+                continue
+            x = left + (i + 0.5) * bar_w
+            y = top + plot_h * (1.0 - w["p99_ns"] / max_p99)
+            points.append(f"{x:.1f},{y:.1f}")
+        if len(points) > 1:
+            out.append(
+                f"<polyline points='{' '.join(points)}' fill='none' "
+                f"stroke='{p99_color}' stroke-width='2'/>"
+            )
+    legend_x = left
+    legend_y = height - 14
+    for name, color in [*colors.items(), ("p99", p99_color)]:
+        out.append(
+            f"<rect x='{legend_x}' y='{legend_y - 10}' width='12' "
+            f"height='12' fill='{color}'/>"
+        )
+        out.append(f"<text x='{legend_x + 16}' y='{legend_y}'>{name}</text>")
+        legend_x += 16 + 8 * len(name) + 24
+    out.append("</svg>")
+    return "\n".join(out)
+
+
 def format_metrics(snapshot: dict, limit: Optional[int] = None) -> str:
     """Flat name/value listing of a metrics snapshot."""
     rows: List[Tuple[str, object]] = []

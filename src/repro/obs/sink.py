@@ -30,6 +30,7 @@ OBS_SCHEMA_VERSION = 1
 SPANS_FILENAME = "spans.jsonl"
 METRICS_FILENAME = "metrics.json"
 MANIFEST_FILENAME = "manifest.json"
+TIMESERIES_FILENAME = "timeseries.jsonl"
 
 
 class JsonlSink:
@@ -146,8 +147,16 @@ def write_run(
     spans: Optional[list] = None,
     metrics_snapshot: Optional[dict] = None,
     manifest: Optional[dict] = None,
+    timeseries: Optional[list] = None,
 ) -> dict:
-    """Write the run artifacts into ``obs_dir``; returns their paths."""
+    """Write the run artifacts into ``obs_dir``; returns their paths.
+
+    ``timeseries`` is a list of labelled serving-telemetry records
+    (``{"label", "content_key", "series"}``, see
+    :func:`repro.serve.telemetry.publish`) written as
+    ``timeseries.jsonl`` -- the stream ``python -m repro.obs timeline``
+    renders.
+    """
     os.makedirs(obs_dir, exist_ok=True)
     paths = {}
     if manifest is not None:
@@ -167,4 +176,9 @@ def write_run(
             json.dump(metrics_snapshot, f, indent=2, sort_keys=True)
             f.write("\n")
         paths["metrics"] = path
+    if timeseries is not None:
+        path = os.path.join(obs_dir, TIMESERIES_FILENAME)
+        with JsonlSink(path) as sink:
+            sink.emit_many(timeseries)
+        paths["timeseries"] = path
     return paths

@@ -29,6 +29,10 @@ deliver, and which index should serve a given load under a
   ``REPRO_SERVE_ENGINE``); see ``docs/serving_fast.md``.
 * :mod:`repro.serve.sweep` -- simulations as picklable tasks: process-
   pool fan-out with a persistent, engine-invariant result cache.
+* :mod:`repro.serve.telemetry` -- deterministic in-run telemetry:
+  windowed time-series, opt-in request traces rendered as ``repro.obs``
+  spans, and SLO burn-rate accounting; byte-identical across engines
+  and serial vs ``--jobs N``; see ``docs/observability.md``.
 
 Driven end-to-end by the ``ext_serving``, ``ext_cluster`` and
 ``ext_tenants`` experiments (``python -m repro.bench --experiment
@@ -100,6 +104,16 @@ from repro.serve.sweep import (
     open_loop_task,
     run_sim_tasks,
     scenario_task,
+)
+from repro.serve.telemetry import (
+    AttemptTrace,
+    BurnRateReport,
+    BurnWindow,
+    TelemetryConfig,
+    TimeSeries,
+    WindowStats,
+    burn_rate_report,
+    spans_from_traces,
 )
 from repro.serve.tenancy import (
     TenancyResult,
@@ -177,4 +191,12 @@ __all__ = [
     "scenario_task",
     "open_loop_summary",
     "run_sim_tasks",
+    "TelemetryConfig",
+    "TimeSeries",
+    "WindowStats",
+    "AttemptTrace",
+    "BurnWindow",
+    "BurnRateReport",
+    "burn_rate_report",
+    "spans_from_traces",
 ]

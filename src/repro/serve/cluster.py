@@ -59,6 +59,7 @@ from repro.serve.faults import (
 )
 from repro.serve.metrics import LatencySummary, summarize
 from repro.serve.router import RouterPolicy, ShardMap, pick_replica
+from repro.serve.telemetry import TelemetryCollector, TelemetryConfig
 
 # Additional event kinds; _ARRIVAL (0) and _FINISH (1) come from core so
 # the degenerate cluster pushes exactly the single-node event stream.
@@ -104,6 +105,10 @@ class _Attempt(Request):
     record: Optional[ClusterRequest] = None
     rep: Optional["_Replica"] = None
     cancelled: bool = False
+    #: Trace metadata, stamped at dispatch only when tracing is on.
+    cause: str = "arrival"
+    dispatch_ns: float = -1.0
+    attempt_no: int = 0
 
 
 @dataclass
@@ -188,6 +193,12 @@ class ClusterResult:
     slow_events: int
     fault_events: List[FaultEvent]
     shard_stats: List[ShardStats]
+    #: Windowed :class:`~repro.serve.telemetry.TimeSeries` when the run
+    #: was given a :class:`~repro.serve.telemetry.TelemetryConfig`.
+    telemetry: Optional[object] = None
+    #: Tuple of :class:`~repro.serve.telemetry.AttemptTrace` when the
+    #: config asked for traces.
+    traces: Optional[tuple] = None
 
     @property
     def availability(self) -> float:
@@ -260,10 +271,19 @@ class _ClusterSim:
         cluster: Cluster,
         horizon_ns: float,
         engine: Optional[str] = None,
+        telemetry: Optional[TelemetryConfig] = None,
     ):
         from repro.serve import fastsim
 
         self.cluster = cluster
+        # The cluster owns the collector (replica loops keep theirs None
+        # so completions are not double counted); all hooks fire from
+        # shared code paths, so telemetry is engine-identical here too.
+        self.telemetry: Optional[TelemetryCollector] = (
+            TelemetryCollector(telemetry, n_shards=cluster.n_shards)
+            if telemetry is not None
+            else None
+        )
         if fastsim.resolve_serve_engine(engine) == "fast":
             self.events = fastsim.SealedEventQueue()
         else:
@@ -334,13 +354,22 @@ class _ClusterSim:
 
     # -- dispatch path ------------------------------------------------------
 
+    def _telemetry_class(self, record: ClusterRequest):
+        """(slo_class, slo_ns) stamped onto telemetry events; the
+        tenancy layer overrides this with each tenant's class/SLO."""
+        return None, None
+
     def _make_completion_hook(self, rep: _Replica):
         def hook(attempt: _Attempt, now: float) -> None:
             rep.served += 1
             record = attempt.record
             record.live -= 1
+            tel = self.telemetry
             if record.completed or record.failed:
-                return  # the hedged twin already won (or retries ran out)
+                # The hedged twin already won (or retries ran out).
+                if tel is not None and tel.traces is not None:
+                    tel.trace_attempt(attempt, rep.shard, rep.rid, now, "absorbed")
+                return
             record.completed = True
             record.start_ns = attempt.start_ns
             record.finish_ns = now
@@ -350,6 +379,15 @@ class _ClusterSim:
             self.shard_stats[record.shard].completed += 1
             if now > self.makespan:
                 self.makespan = now
+            if tel is not None:
+                cls, slo = self._telemetry_class(record)
+                tel.on_completed(
+                    now, record.latency_ns, record.shard, cls, slo
+                )
+                if tel.traces is not None:
+                    tel.trace_attempt(
+                        attempt, rep.shard, rep.rid, now, "completed"
+                    )
 
         return hook
 
@@ -359,6 +397,7 @@ class _ClusterSim:
         now: float,
         exclude: Optional[int] = None,
         hedge: bool = False,
+        cause: str = "arrival",
     ) -> bool:
         replicas = self.replicas[record.shard]
         rep = pick_replica(replicas, exclude=exclude)
@@ -377,11 +416,18 @@ class _ClusterSim:
             record=record,
             rep=rep,
         )
+        tel = self.telemetry
+        if tel is not None and tel.traces is not None:
+            attempt.cause = cause
+            attempt.dispatch_ns = now
+            attempt.attempt_no = record.attempts
         rep.loop.dispatch(attempt, now)
         stats = self.shard_stats[record.shard]
         depth = sum(r.backlog for r in replicas)
         if depth > stats.max_queue_depth:
             stats.max_queue_depth = depth
+        if tel is not None:
+            tel.on_depth(now, depth)
         policy = self.cluster.policy
         if (
             not hedge
@@ -398,10 +444,15 @@ class _ClusterSim:
         if record.attempts >= self.cluster.policy.max_attempts:
             record.failed = True
             self.failed += 1
+            if self.telemetry is not None:
+                cls, _ = self._telemetry_class(record)
+                self.telemetry.on_failed(now, record.shard, cls)
             return
         record.retries += 1
         self.total_retries += 1
         self.shard_stats[record.shard].retries += 1
+        if self.telemetry is not None:
+            self.telemetry.on_retry(now, record.shard)
         delay = self.cluster.policy.backoff_ns(record.retries)
         self.events.push(now + delay, _RETRY, record)
 
@@ -434,15 +485,19 @@ class _ClusterSim:
             return
         if record.live == 0:
             return  # lost to a crash; the retry path owns it now
-        if self.dispatch(record, now, exclude=record.last_replica, hedge=True):
+        if self.dispatch(
+            record, now, exclude=record.last_replica, hedge=True, cause="hedge"
+        ):
             record.hedged = True
             self.total_hedges += 1
             self.shard_stats[record.shard].hedges += 1
+            if self.telemetry is not None:
+                self.telemetry.on_hedge(now, record.shard)
 
     def on_retry(self, record: ClusterRequest, now: float) -> None:
         if record.completed or record.failed:
             return
-        self.dispatch(record, now)
+        self.dispatch(record, now, cause="retry")
 
     def on_fault_begin(self, event: FaultEvent, now: float) -> None:
         rep = self.replicas[event.shard][event.replica]
@@ -484,7 +539,17 @@ class _ClusterSim:
                 core.current = None
             while core.queue:
                 lost.append(core.queue.popleft())
+        tel = self.telemetry
+        tracing = tel is not None and tel.traces is not None
         for attempt in lost:
+            if tracing:
+                tel.trace_attempt(
+                    attempt,
+                    rep.shard,
+                    rep.rid,
+                    now,
+                    "cancelled" if attempt.cancelled else "lost",
+                )
             record = attempt.record
             record.live -= 1
             if record.live > 0:
@@ -522,6 +587,16 @@ class _ClusterSim:
             slow_events=self.slow_events,
             fault_events=self.schedule,
             shard_stats=self.shard_stats,
+            telemetry=(
+                self.telemetry.series()
+                if self.telemetry is not None
+                else None
+            ),
+            traces=(
+                self.telemetry.trace_tuple()
+                if self.telemetry is not None
+                else None
+            ),
         )
 
 
@@ -531,6 +606,7 @@ def simulate_cluster(
     keys: Sequence[int],
     fault_horizon_ns: Optional[float] = None,
     engine: Optional[str] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> ClusterResult:
     """Run one open-loop trace through the cluster; fully deterministic.
 
@@ -540,6 +616,8 @@ def simulate_cluster(
     slack) -- it only changes which faults exist, never how any given
     schedule is replayed.  ``engine`` picks the serving engine (``None``
     = ambient default); engines produce byte-identical results.
+    ``telemetry`` collects a windowed time-series (and, opt-in, attempt
+    traces) without perturbing the run.
     """
     if len(arrivals_ns) != len(keys):
         raise ValueError(
@@ -550,6 +628,11 @@ def simulate_cluster(
     if fault_horizon_ns is None:
         last = float(arrivals_ns[-1])
         fault_horizon_ns = last + max(0.25 * last, 1e6)
-    sim = _ClusterSim(cluster, horizon_ns=fault_horizon_ns, engine=engine)
+    sim = _ClusterSim(
+        cluster,
+        horizon_ns=fault_horizon_ns,
+        engine=engine,
+        telemetry=telemetry,
+    )
     sim.load(arrivals_ns, keys)
     return sim.run()

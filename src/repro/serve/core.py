@@ -27,6 +27,7 @@ from typing import Deque, List, Optional, Sequence
 from repro.memsim.costmodel import XEON_GOLD_6230, CostModel
 from repro.serve.arrivals import think_times_ns
 from repro.serve.contention import MachineModel, service_time_ns
+from repro.serve.telemetry import TelemetryCollector, TelemetryConfig
 
 _ARRIVAL = 0
 _FINISH = 1
@@ -130,6 +131,12 @@ class ServingResult:
     #: Largest total backlog (queued + in service, over all cores) seen
     #: at any dispatch instant -- the headroom number an operator watches.
     max_queue_depth: int = 0
+    #: Windowed :class:`~repro.serve.telemetry.TimeSeries` when the run
+    #: was given a :class:`~repro.serve.telemetry.TelemetryConfig`.
+    telemetry: Optional[object] = None
+    #: Tuple of :class:`~repro.serve.telemetry.AttemptTrace` when the
+    #: config asked for traces.
+    traces: Optional[tuple] = None
 
     @property
     def latencies_ns(self) -> List[float]:
@@ -182,6 +189,9 @@ class _EventLoop:
         self.max_queue_depth = 0
         self.slow_factor = 1.0
         self.on_finish = None
+        #: Optional TelemetryCollector.  The single-node simulators set
+        #: it; the cluster router leaves it None (it has its own hooks).
+        self.telemetry: Optional[TelemetryCollector] = None
 
     def push(self, time_ns: float, kind: int, payload) -> None:
         # (time, kind, seq) orders simultaneous events deterministically:
@@ -194,6 +204,8 @@ class _EventLoop:
         depth = sum(c.backlog for c in self.cores)
         if depth > self.max_queue_depth:
             self.max_queue_depth = depth
+        if self.telemetry is not None:
+            self.telemetry.on_depth(now, depth)
         if core.current is None:
             self.start_next(core, now)
 
@@ -224,17 +236,24 @@ class _EventLoop:
         self.done.append(req)
         self.makespan = max(self.makespan, now)
         self.start_next(core, now)
+        if self.telemetry is not None:
+            self.telemetry.on_completed(now, req.latency_ns)
+            if self.telemetry.traces is not None:
+                self.telemetry.trace_open_loop(req, now)
         if self.on_finish is not None:
             self.on_finish(req, now)
 
     def result(self) -> ServingResult:
         self.done.sort(key=lambda r: r.rid)
+        tel = self.telemetry
         return ServingResult(
             requests=self.done,
             n_cores=len(self.cores),
             makespan_ns=self.makespan,
             total_steals=self.steals,
             max_queue_depth=self.max_queue_depth,
+            telemetry=tel.series() if tel is not None else None,
+            traces=tel.trace_tuple() if tel is not None else None,
         )
 
 
@@ -243,6 +262,7 @@ def simulate_open_loop(
     arrivals_ns: Sequence[float],
     n_cores: int,
     engine: Optional[str] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> ServingResult:
     """Serve pre-generated arrival timestamps (open loop).
 
@@ -251,16 +271,23 @@ def simulate_open_loop(
     byte-identical; the fast engine uses the vectorized Lindley kernel
     where it applies (:func:`repro.serve.fastsim.kernel_applies`) and
     otherwise falls back to this event loop over a batch-sorted queue.
+    ``telemetry`` additionally collects a windowed time-series (and,
+    opt-in, attempt traces) without perturbing the simulation; the
+    telemetry too is byte-identical across engines.
     """
     from repro.serve import fastsim
 
     events = None
     if fastsim.resolve_serve_engine(engine) == "fast":
-        result = fastsim.lindley_open_loop(service, arrivals_ns, n_cores)
+        result = fastsim.lindley_open_loop(
+            service, arrivals_ns, n_cores, telemetry=telemetry
+        )
         if result is not None:
             return result
         events = fastsim.SealedEventQueue()
     loop = _EventLoop(service, n_cores, events=events)
+    if telemetry is not None:
+        loop.telemetry = TelemetryCollector(telemetry)
     for rid, t in enumerate(arrivals_ns):
         loop.push(float(t), _ARRIVAL, Request(rid=rid, arrival_ns=float(t)))
     while loop.events:
@@ -280,6 +307,7 @@ def simulate_closed_loop(
     seed: int,
     n_cores: int,
     engine: Optional[str] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> ServingResult:
     """Closed loop: each client re-issues after completion + think time.
 
@@ -298,6 +326,8 @@ def simulate_closed_loop(
     if fastsim.resolve_serve_engine(engine) == "fast":
         events = fastsim.SealedEventQueue()
     loop = _EventLoop(service, n_cores, events=events)
+    if telemetry is not None:
+        loop.telemetry = TelemetryCollector(telemetry)
     per_client = (n_requests + n_clients - 1) // n_clients
     thinks = {
         c: think_times_ns(mean_think_ns, per_client, seed + 7919 * c)

@@ -50,7 +50,9 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.serve import telemetry as tel_mod
 from repro.serve.core import Request, ServiceModel, ServingResult
+from repro.serve.telemetry import TelemetryConfig, TimeSeries
 
 #: Selectable serving engines: the reference discrete-event loop and
 #: this module's vectorized/batched engine.  Results are byte-identical,
@@ -170,6 +172,8 @@ class _KernelServingResult(ServingResult):
         self.makespan_ns = float(finish[-1])
         self.total_steals = 0
         self.max_queue_depth = max_queue_depth
+        self.telemetry: Optional[TimeSeries] = None
+        self.traces: Optional[tuple] = None
 
     @property
     def requests(self) -> List[Request]:
@@ -202,6 +206,8 @@ class _KernelServingResult(ServingResult):
             self.makespan_ns,
             self.total_steals,
             self.max_queue_depth,
+            self.telemetry,
+            self.traces,
         )
 
     def __eq__(self, other):
@@ -212,6 +218,8 @@ class _KernelServingResult(ServingResult):
                 other.makespan_ns,
                 other.total_steals,
                 other.max_queue_depth,
+                other.telemetry,
+                other.traces,
             )
         return NotImplemented
 
@@ -243,23 +251,34 @@ def lindley_open_loop(
     service: ServiceModel,
     arrivals_ns: Sequence[float],
     n_cores: int,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> Optional[ServingResult]:
     """Vectorized single-queue open loop; ``None`` when it doesn't apply.
 
     Byte-identical to ``simulate_open_loop(..., engine="event")`` on
     every configuration it accepts (pinned by the hypothesis suite in
-    ``tests/test_fastsim.py``).
+    ``tests/test_fastsim.py``), telemetry included: the kernel has no
+    per-event code, so :func:`repro.serve.telemetry.open_loop_series`
+    recomputes the collector's windowed aggregates from the arrays with
+    the same binning arithmetic and percentile code.
     """
     if not kernel_applies(service, arrivals_ns, n_cores):
         return None
     n = len(arrivals_ns)
     if n == 0:
+        empty = np.empty(0, dtype=np.float64)
         return ServingResult(
             requests=[],
             n_cores=n_cores,
             makespan_ns=0.0,
             total_steals=0,
             max_queue_depth=0,
+            telemetry=(
+                tel_mod.open_loop_series(telemetry, empty, empty, empty, empty)
+                if telemetry is not None
+                else None
+            ),
+            traces=() if telemetry is not None and telemetry.traces else None,
         )
     arr = np.asarray(arrivals_ns, dtype=np.float64)
     s = service.service_ns(1)
@@ -277,12 +296,19 @@ def lindley_open_loop(
     # pops first).  finish is strictly increasing (s > 0), so the count
     # of earlier finishes is a searchsorted.
     depth = np.arange(1, n + 1) - np.searchsorted(finish, arr, side="left")
-    return _KernelServingResult(
+    result = _KernelServingResult(
         arrivals=arr,
         start=start,
         finish=finish,
         max_queue_depth=int(depth.max()),
     )
+    if telemetry is not None:
+        result.telemetry = tel_mod.open_loop_series(
+            telemetry, arr, start, finish, depth
+        )
+        if telemetry.traces:
+            result.traces = tel_mod.open_loop_traces(arr, start, finish)
+    return result
 
 
 def _exact_finish_times(

@@ -77,6 +77,7 @@ class LatencySummary:
 
         reg = registry if registry is not None else get_registry()
         reg.gauge(f"{prefix}.latency.p50_ns").set_max(self.p50_ns)
+        reg.gauge(f"{prefix}.latency.p95_ns").set_max(self.p95_ns)
         reg.gauge(f"{prefix}.latency.p99_ns").set_max(self.p99_ns)
         reg.gauge(f"{prefix}.latency.p999_ns").set_max(self.p999_ns)
         reg.gauge(f"{prefix}.latency.max_ns").set_max(self.max_ns)

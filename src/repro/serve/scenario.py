@@ -35,7 +35,6 @@ under pressure).  The admission thresholds live in
 
 from __future__ import annotations
 
-import hashlib
 import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Dict, List, Optional, Tuple
@@ -76,14 +75,13 @@ _INT_PARAMS = frozenset(
 )
 
 
-def _canonical_json(payload: dict) -> str:
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
-
-
-def _content_hash(payload: dict) -> str:
-    return hashlib.sha256(
-        _canonical_json(payload).encode("utf-8")
-    ).hexdigest()[:40]
+# The canonical encoding is shared with the telemetry layer so scenario
+# specs and TimeSeries artifacts hash the same way (telemetry.py is the
+# one serve module with no serve imports, hence it hosts the helpers).
+from repro.serve.telemetry import (  # noqa: E402
+    canonical_json as _canonical_json,
+    content_hash as _content_hash,
+)
 
 
 @dataclass(frozen=True)

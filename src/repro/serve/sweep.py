@@ -42,6 +42,7 @@ from repro.serve.arrivals import bursty_arrivals, poisson_arrivals
 from repro.serve.contention import MachineModel
 from repro.serve.core import ServiceModel, simulate_open_loop
 from repro.serve.metrics import LatencySummary, summarize_result
+from repro.serve.telemetry import TelemetryConfig
 
 __all__ = [
     "OpenLoopTask",
@@ -57,6 +58,7 @@ __all__ = [
     "cluster_task",
     "scenario_task",
     "freeze_machine",
+    "freeze_telemetry",
     "clear_sim_results",
 ]
 
@@ -132,6 +134,42 @@ def _pairs(value):
     return None if value is None else dict(value)
 
 
+def freeze_telemetry(
+    config: Optional[TelemetryConfig],
+) -> Optional[Tuple[Tuple[str, object], ...]]:
+    """Canonical, hashable form of a :class:`TelemetryConfig`.
+
+    Traces are refused: task records are JSON aggregates sized for the
+    persistent cache, and per-attempt traces belong on inline
+    ``simulate_*`` calls, not fanned-out sweeps.
+    """
+    if config is None:
+        return None
+    if config.traces:
+        raise ValueError(
+            "sweep tasks do not support telemetry traces; call the "
+            "simulate_* function inline to collect traces"
+        )
+    return (
+        ("window_ns", config.window_ns),
+        ("slo_p99_ns", config.slo_p99_ns),
+    )
+
+
+def _thaw_telemetry(
+    frozen: Optional[Tuple[Tuple[str, object], ...]],
+) -> Optional[TelemetryConfig]:
+    if frozen is None:
+        return None
+    d = dict(frozen)
+    return TelemetryConfig(
+        window_ns=float(d["window_ns"]),
+        slo_p99_ns=(
+            None if d["slo_p99_ns"] is None else float(d["slo_p99_ns"])
+        ),
+    )
+
+
 # ---------------------------------------------------------------------------
 # tasks
 # ---------------------------------------------------------------------------
@@ -155,9 +193,13 @@ class OpenLoopTask:
     n_requests: int
     seed: int
     n_cores: int
+    #: Frozen :class:`TelemetryConfig` (via :func:`freeze_telemetry`).
+    #: None omits the key-fields entry entirely, so telemetry-off task
+    #: keys are bit-for-bit what they were before telemetry existed.
+    telemetry: Optional[Tuple[Tuple[str, object], ...]] = None
 
     def key_fields(self) -> dict:
-        return {
+        fields = {
             "kind": "open_loop",
             "counters": dict(self.counters),
             "fence": self.fence,
@@ -168,6 +210,9 @@ class OpenLoopTask:
             "seed": self.seed,
             "n_cores": self.n_cores,
         }
+        if self.telemetry is not None:
+            fields["telemetry"] = _pairs(self.telemetry)
+        return fields
 
     def run(self) -> dict:
         service = _service_from_frozen(
@@ -183,13 +228,21 @@ class OpenLoopTask:
             )
         else:
             raise ValueError(f"unknown arrival shape {self.shape!r}")
-        result = simulate_open_loop(service, arrivals, self.n_cores)
+        result = simulate_open_loop(
+            service,
+            arrivals,
+            self.n_cores,
+            telemetry=_thaw_telemetry(self.telemetry),
+        )
         summary = summarize_result(result)
-        return {
+        record = {
             "summary": summary.to_dict(),
             "max_queue_depth": result.max_queue_depth,
             "total_steals": result.total_steals,
         }
+        if result.telemetry is not None:
+            record["telemetry"] = result.telemetry.to_dict()
+        return record
 
 
 @dataclass(frozen=True)
@@ -214,9 +267,10 @@ class ClusterTask:
     policy: Tuple[Tuple[str, object], ...]
     faults: Optional[Tuple[Tuple[str, object], ...]]
     fault_horizon_ns: Optional[float]
+    telemetry: Optional[Tuple[Tuple[str, object], ...]] = None
 
     def key_fields(self) -> dict:
-        return {
+        fields = {
             "kind": "cluster",
             "per_shard_counters": [dict(c) for c in self.per_shard_counters],
             "fence": self.fence,
@@ -232,6 +286,9 @@ class ClusterTask:
             "faults": _pairs(self.faults),
             "fault_horizon_ns": self.fault_horizon_ns,
         }
+        if self.telemetry is not None:
+            fields["telemetry"] = _pairs(self.telemetry)
+        return fields
 
     def run(self) -> dict:
         from repro.serve.cluster import Cluster, simulate_cluster
@@ -262,8 +319,12 @@ class ClusterTask:
             arrivals,
             list(self.lookup_keys),
             fault_horizon_ns=self.fault_horizon_ns,
+            telemetry=_thaw_telemetry(self.telemetry),
         )
-        return ClusterRunStats.from_result(result).to_record()
+        record = ClusterRunStats.from_result(result).to_record()
+        if result.telemetry is not None:
+            record["telemetry"] = result.telemetry.to_dict()
+        return record
 
 
 @dataclass(frozen=True)
@@ -284,11 +345,12 @@ class ScenarioTask:
     per_shard_counters: Tuple[Tuple[Tuple[str, float], ...], ...]
     fence: bool
     machine: Tuple[Tuple[str, float], ...]
+    telemetry: Optional[Tuple[Tuple[str, object], ...]] = None
 
     def key_fields(self) -> dict:
         import json
 
-        return {
+        fields = {
             "kind": "scenario",
             "scenario": json.loads(self.spec_json),
             "dataset": self.dataset,
@@ -299,6 +361,9 @@ class ScenarioTask:
             "fence": self.fence,
             "machine": dict(self.machine),
         }
+        if self.telemetry is not None:
+            fields["telemetry"] = _pairs(self.telemetry)
+        return fields
 
     def run(self) -> dict:
         from repro.serve.router import ShardMap
@@ -316,9 +381,16 @@ class ScenarioTask:
         ]
         shard_map = ShardMap.from_keys(ds.keys, spec.topology.n_shards)
         result = simulate_scenario(
-            spec, services, ds.keys, shard_map=shard_map
+            spec,
+            services,
+            ds.keys,
+            shard_map=shard_map,
+            telemetry=_thaw_telemetry(self.telemetry),
         )
-        return TenancyRunStats.from_result(result).to_record()
+        record = TenancyRunStats.from_result(result).to_record()
+        if result.telemetry is not None:
+            record["telemetry"] = result.telemetry.to_dict()
+        return record
 
 
 SimTask = Union[OpenLoopTask, ClusterTask, ScenarioTask]
@@ -333,6 +405,7 @@ def open_loop_task(
     machine: MachineModel = MachineModel(),
     fence: bool = False,
     shape: str = "poisson",
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> OpenLoopTask:
     """The task :func:`repro.serve.selector.evaluate_candidate` runs."""
     from repro.bench.cells import freeze_counters
@@ -346,6 +419,7 @@ def open_loop_task(
         n_requests=n_requests,
         seed=seed,
         n_cores=n_cores,
+        telemetry=freeze_telemetry(telemetry),
     )
 
 
@@ -363,6 +437,7 @@ def cluster_task(
     fault_horizon_ns: Optional[float],
     machine: MachineModel = MachineModel(),
     fence: bool = False,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> ClusterTask:
     """The task one :func:`~repro.serve.cluster.simulate_cluster` run is."""
     from repro.bench.cells import freeze_counters
@@ -383,6 +458,7 @@ def cluster_task(
         policy=_freeze_policy(policy),
         faults=_freeze_faults(faults),
         fault_horizon_ns=fault_horizon_ns,
+        telemetry=freeze_telemetry(telemetry),
     )
 
 
@@ -395,6 +471,7 @@ def scenario_task(
     machine: MachineModel = MachineModel(),
     fence: bool = False,
     key_bits: int = 64,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> ScenarioTask:
     """The task one :func:`~repro.serve.tenancy.simulate_scenario` run is."""
     from repro.bench.cells import freeze_counters
@@ -410,6 +487,7 @@ def scenario_task(
         ),
         fence=fence,
         machine=freeze_machine(machine),
+        telemetry=freeze_telemetry(telemetry),
     )
 
 
@@ -794,7 +872,15 @@ def run_sim_tasks(
     ``ProcessPoolExecutor`` whose ``map`` preserves dispatch order, so
     completion order never leaks into results, memo insertion, or cache
     writes.
+
+    Every call also publishes its resolution split to the global obs
+    metrics registry (``serve.sweep.cache.{hits,misses,executed}`` for
+    the persistent cache, ``serve.sweep.memo.hits`` for the in-process
+    memo), so a warm sweep is distinguishable from a cold one in
+    ``metrics.json``.
     """
+    from repro.obs.metrics import get_registry
+
     if jobs is not None and jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     n_jobs = 1 if jobs is None else jobs
@@ -812,18 +898,29 @@ def run_sim_tasks(
             unique.append(task)
     stats.unique_tasks += len(unique)
 
+    memo_hits = 0
+    cache_hits = 0
     pending: List[SimTask] = []
     for task in unique:
         if task in _RESULTS:
-            stats.memo_hits += 1
+            memo_hits += 1
             continue
         if cache is not None:
             record = cache.get(task)
             if record is not None:
-                stats.cache_hits += 1
+                cache_hits += 1
                 _RESULTS[task] = record
                 continue
         pending.append(task)
+    stats.memo_hits += memo_hits
+    stats.cache_hits += cache_hits
+    reg = get_registry()
+    reg.counter("serve.sweep.memo.hits").inc(memo_hits)
+    reg.counter("serve.sweep.cache.hits").inc(cache_hits)
+    if cache is not None:
+        # Misses against the *persistent* cache: looked up, not found.
+        reg.counter("serve.sweep.cache.misses").inc(len(pending))
+    reg.counter("serve.sweep.cache.executed").inc(len(pending))
 
     if pending:
         if n_jobs == 1 or len(pending) == 1:

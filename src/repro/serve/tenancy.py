@@ -48,6 +48,7 @@ from repro.serve.scenario import (
     AdmissionSpec,
     ScenarioSpec,
 )
+from repro.serve.telemetry import TelemetryConfig
 from repro.serve.trace import TenantTrace
 
 __all__ = [
@@ -162,6 +163,17 @@ class TenancyResult:
         return sum(t.shed for t in self.tenants)
 
     @property
+    def telemetry(self):
+        """The run's windowed time-series (None when not collected).
+        Tenancy telemetry carries per-class ``class_stats``, so the
+        burn-rate report can be split by gold/silver/bronze."""
+        return self.cluster.telemetry
+
+    @property
+    def traces(self):
+        return self.cluster.traces
+
+    @property
     def admitted(self) -> int:
         return len(self.cluster.records) - self.total_shed
 
@@ -218,10 +230,15 @@ class _TenantSim(_ClusterSim):
         spec: ScenarioSpec,
         trace: TenantTrace,
         engine: Optional[str] = None,
+        telemetry: Optional[TelemetryConfig] = None,
     ):
-        super().__init__(cluster, horizon_ns, engine=engine)
+        super().__init__(cluster, horizon_ns, engine=engine, telemetry=telemetry)
         self.spec = spec
         self.trace = trace
+
+    def _telemetry_class(self, record: TenantRequest):
+        tenant = self.spec.tenants[record.tenant]
+        return tenant.slo_class, tenant.p99_slo_ns
 
     def _make_record(
         self, rid: int, key: int, t: float, shard: int
@@ -243,6 +260,8 @@ class _TenantSim(_ClusterSim):
             )
             if should_shed(admission, slo_class, backlog):
                 record.shed = True
+                if self.telemetry is not None:
+                    self.telemetry.on_shed(now, record.shard, slo_class)
                 return  # rejected: never queued, never retried
         super().on_arrival(record, now)
 
@@ -283,6 +302,7 @@ def replay_trace(
     keys: Optional[Sequence[int]] = None,
     shard_map: Optional[ShardMap] = None,
     engine: Optional[str] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> TenancyResult:
     """Replay a materialized trace under a spec's topology and policies.
 
@@ -315,7 +335,12 @@ def replay_trace(
         last = float(trace.arrivals_ns[-1])
         horizon = last + max(0.25 * last, 1e6)
     sim = _TenantSim(
-        cluster, horizon_ns=horizon, spec=spec, trace=trace, engine=engine
+        cluster,
+        horizon_ns=horizon,
+        spec=spec,
+        trace=trace,
+        engine=engine,
+        telemetry=telemetry,
     )
     sim.load([float(t) for t in trace.arrivals_ns], trace.keys)
     result = sim.run()
@@ -333,6 +358,7 @@ def simulate_scenario(
     keys: Sequence[int],
     shard_map: Optional[ShardMap] = None,
     engine: Optional[str] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> TenancyResult:
     """Materialize and run a scenario against a served key array.
 
@@ -342,5 +368,11 @@ def simulate_scenario(
     """
     trace = TenantTrace.from_spec(spec, keys)
     return replay_trace(
-        spec, trace, services, keys=keys, shard_map=shard_map, engine=engine
+        spec,
+        trace,
+        services,
+        keys=keys,
+        shard_map=shard_map,
+        engine=engine,
+        telemetry=telemetry,
     )

@@ -432,3 +432,59 @@ class TestClusterTaskParity:
         assert ClusterRunStats.from_record(record) == (
             ClusterRunStats.from_result(direct)
         )
+
+
+class TestObsCacheCounters:
+    """run_sim_tasks publishes its resolution split as obs metrics
+    (``serve.sweep.memo.hits`` and ``serve.sweep.cache.{hits,misses,
+    executed}``), so metrics.json distinguishes warm from cold sweeps."""
+
+    NAMES = (
+        "serve.sweep.memo.hits",
+        "serve.sweep.cache.hits",
+        "serve.sweep.cache.misses",
+        "serve.sweep.cache.executed",
+    )
+
+    @pytest.fixture(autouse=True)
+    def _fresh_registry(self):
+        from repro.obs.metrics import get_registry
+
+        get_registry().reset()
+        yield
+        get_registry().reset()
+
+    def counters_now(self):
+        from repro.obs.metrics import get_registry
+
+        snap = get_registry().snapshot()["counters"]
+        return tuple(snap.get(name, 0) for name in self.NAMES)
+
+    def tasks(self):
+        return [
+            open_loop_task(FakeMeasurement(), 1e6, 100, seed, 1)
+            for seed in range(3)
+        ]
+
+    def test_cold_run_counts_misses_and_executions(self, tmp_path):
+        cache = SimResultCache(str(tmp_path / "serving"))
+        run_sim_tasks(self.tasks(), cache=cache)
+        assert self.counters_now() == (0, 0, 3, 3)
+
+    def test_second_call_counts_memo_hits(self, tmp_path):
+        cache = SimResultCache(str(tmp_path / "serving"))
+        run_sim_tasks(self.tasks(), cache=cache)
+        run_sim_tasks(self.tasks(), cache=cache)
+        assert self.counters_now() == (3, 0, 3, 3)
+
+    def test_warm_cache_counts_cache_hits(self, tmp_path):
+        cache = SimResultCache(str(tmp_path / "serving"))
+        run_sim_tasks(self.tasks(), cache=cache)
+        clear_sim_results()  # drop the memo, keep the persistent cache
+        run_sim_tasks(self.tasks(), cache=cache)
+        assert self.counters_now() == (0, 3, 3, 3)
+
+    def test_no_cache_still_counts_executions(self):
+        run_sim_tasks(self.tasks())
+        # No persistent cache: no hit/miss accounting, only executions.
+        assert self.counters_now() == (0, 0, 0, 3)
