@@ -17,6 +17,7 @@ from repro.bench.experiments import (
     ext_cluster,
     ext_learned_variants,
     ext_readwrite,
+    ext_reconfig,
     ext_serving,
     ext_skew,
     ext_tenants,
@@ -59,6 +60,7 @@ EXPERIMENTS = {
     "ext_serving": ext_serving.run,
     "ext_cluster": ext_cluster.run,
     "ext_tenants": ext_tenants.run,
+    "ext_reconfig": ext_reconfig.run,
 }
 
 #: Grid enumerators for the parallel runner (subset of EXPERIMENTS).
@@ -80,6 +82,7 @@ EXPERIMENT_CELLS = {
     "ext_serving": ext_serving.cells,
     "ext_cluster": ext_cluster.cells,
     "ext_tenants": ext_tenants.cells,
+    "ext_reconfig": ext_reconfig.cells,
 }
 
 __all__ = ["EXPERIMENTS", "EXPERIMENT_CELLS"]

@@ -23,6 +23,10 @@ deliver, and which index should serve a given load under a
   :mod:`repro.serve.trace` -- declarative multi-tenant scenario specs,
   admission control with SLO-class load shedding, and trace
   record-replay; see ``docs/tenancy.md``.
+* :mod:`repro.serve.reconfig` -- live reconfiguration under traffic:
+  epoch-versioned shard splits/merges with key-range handoff,
+  background rebuild-and-swap, and a reactive autoscaler, all as
+  deterministic as the fault schedules; see ``docs/reconfig.md``.
 * :mod:`repro.serve.fastsim` -- the ``fast`` serving engine: a
   vectorized Lindley-recursion kernel plus batch-sorted event queues,
   byte-identical to the event loop (``--serve-engine`` /
@@ -69,6 +73,16 @@ from repro.serve.fastsim import (
     resolve_serve_engine,
 )
 from repro.serve.metrics import LatencySummary, summarize, summarize_result
+from repro.serve.reconfig import (
+    AutoscaleSpec,
+    MergeSpec,
+    RebuildSpec,
+    ReconfigSpec,
+    ShardEpoch,
+    SplitSpec,
+    autoscale_decision,
+    reconfig_schedule,
+)
 from repro.serve.router import RouterPolicy, ShardMap, request_keys
 from repro.serve.scenario import (
     AdmissionSpec,
@@ -155,6 +169,14 @@ __all__ = [
     "FaultConfig",
     "FaultEvent",
     "fault_schedule",
+    "ReconfigSpec",
+    "SplitSpec",
+    "MergeSpec",
+    "RebuildSpec",
+    "AutoscaleSpec",
+    "ShardEpoch",
+    "reconfig_schedule",
+    "autoscale_decision",
     "RouterPolicy",
     "ShardMap",
     "request_keys",

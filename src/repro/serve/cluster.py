@@ -32,6 +32,14 @@ Faults come from a pre-computed seeded schedule
 in-flight attempts are lost, then retried by the router) and slow events
 multiply its service times.
 
+Live reconfiguration (:mod:`repro.serve.reconfig`) rides the same event
+queue: shard splits/merges version the key-range partition into epochs
+(stale requests re-resolve at dispatch), rebuilds drain a replica via
+the degraded-routing path and swap its index atomically, and an
+autoscaler adds/retires replicas from queue-depth and p99 signals.  A
+cluster without a :class:`~repro.serve.reconfig.ReconfigSpec` runs the
+exact pre-reconfig code paths, byte for byte.
+
 With one shard, one replica and no faults, the cluster *is* the
 single-node simulator: the same events are pushed with the same
 sequence numbers and popped by the same loop code, so results are
@@ -58,6 +66,11 @@ from repro.serve.faults import (
     fault_schedule,
 )
 from repro.serve.metrics import LatencySummary, summarize
+from repro.serve.reconfig import (
+    ReconfigEvent,
+    ReconfigRuntime,
+    ReconfigSpec,
+)
 from repro.serve.router import RouterPolicy, ShardMap, pick_replica
 from repro.serve.telemetry import TelemetryCollector, TelemetryConfig
 
@@ -68,6 +81,7 @@ _RETRY = 3
 _FLUSH = 4
 _FAULT_BEGIN = 5
 _FAULT_END = 6
+_RECONFIG = 7
 
 
 @dataclass
@@ -91,6 +105,9 @@ class ClusterRequest:
     live: int = 0
     #: Replica id of the most recent dispatch (hedges exclude it).
     last_replica: int = -1
+    #: Shard-map epoch the request was last routed under; requests
+    #: stamped with a stale epoch re-resolve their shard at dispatch.
+    epoch: int = 0
 
     @property
     def latency_ns(self) -> float:
@@ -123,6 +140,11 @@ class _Replica:
     served: int = 0
     crash_count: int = 0
     slow_count: int = 0
+    #: Permanently removed from the rotation (merge or scale-down);
+    #: queued work still completes, and fault recovery cannot revive it.
+    retired: bool = False
+    #: Out of the rotation for a background index rebuild.
+    rebuilding: bool = False
 
     @property
     def backlog(self) -> int:
@@ -158,6 +180,9 @@ class Cluster:
     n_cores: int = 2
     policy: RouterPolicy = field(default_factory=RouterPolicy)
     faults: Optional[FaultConfig] = None
+    #: Optional live-reconfiguration plan (:mod:`repro.serve.reconfig`);
+    #: None (or a spec with no triggers) leaves the run untouched.
+    reconfig: Optional[ReconfigSpec] = None
 
     def __post_init__(self):
         if len(self.services) != self.shard_map.n_shards:
@@ -199,6 +224,32 @@ class ClusterResult:
     #: Tuple of :class:`~repro.serve.telemetry.AttemptTrace` when the
     #: config asked for traces.
     traces: Optional[tuple] = None
+    #: Reconfiguration history, present only when the cluster had an
+    #: enabled :class:`~repro.serve.reconfig.ReconfigSpec`: the epoch
+    #: sequence, completed rebuilds ``(time_ns, shard, replica)``,
+    #: autoscaler actions ``(time_ns, shard, +1 | -1)``, and the final
+    #: live replica count.
+    epochs: Optional[tuple] = None
+    rebuilds: Optional[tuple] = None
+    scale_events: Optional[tuple] = None
+    live_replicas: Optional[int] = None
+
+    @property
+    def epoch_count(self) -> int:
+        """Number of shard-map epochs the run went through (1 = static)."""
+        return len(self.epochs) if self.epochs else 1
+
+    @property
+    def final_shards(self) -> int:
+        """Key ranges in the final epoch (splits add, merges remove)."""
+        return len(self.epochs[-1].owners) if self.epochs else self.n_shards
+
+    @property
+    def final_replicas(self) -> int:
+        """Live replicas at the end of the run, over active shards."""
+        if self.live_replicas is not None:
+            return self.live_replicas
+        return self.n_shards * self.n_replicas
 
     @property
     def availability(self) -> float:
@@ -243,6 +294,12 @@ class ClusterResult:
         reg.counter(f"{prefix}.faults.crashes").inc(self.crashes)
         reg.counter(f"{prefix}.faults.slow").inc(self.slow_events)
         reg.gauge(f"{prefix}.availability.min").set_min(self.availability)
+        # Topology gauges: the autoscaler's inputs/outputs are observable
+        # even for static runs (final == initial there).
+        reg.gauge(f"{prefix}.shards").set(float(self.final_shards))
+        if self.final_replicas > 0:
+            reg.gauge(f"{prefix}.replicas").set(float(self.final_replicas))
+        reg.counter(f"{prefix}.epochs").inc(self.epoch_count)
         depth_hist = reg.histogram(f"{prefix}.shard_queue_depth.max")
         for st in self.shard_stats:
             depth_hist.observe(st.max_queue_depth)
@@ -321,6 +378,12 @@ class _ClusterSim:
                 cluster.n_replicas,
                 horizon_ns,
             )
+        # A disabled spec stays None: every reconfig branch below is
+        # gated on it, so runs without triggers are byte-identical to
+        # the pre-reconfig simulator (the differential suite pins this).
+        self.reconfig: Optional[ReconfigRuntime] = None
+        if cluster.reconfig is not None and cluster.reconfig.enabled:
+            self.reconfig = ReconfigRuntime(self, cluster.reconfig, horizon_ns)
 
     # -- event generation ---------------------------------------------------
 
@@ -351,6 +414,51 @@ class _ClusterSim:
         for event in self.schedule:
             self.events.push(event.time_ns, _FAULT_BEGIN, event)
             self.events.push(event.recovery_ns, _FAULT_END, event)
+        if self.reconfig is not None:
+            for ev in self.reconfig.schedule:
+                self.events.push(ev.time_ns, _RECONFIG, ev)
+
+    # -- online operations (reconfig runtime calls back in) -----------------
+
+    def schedule_reconfig(self, time_ns: float, ev: ReconfigEvent) -> None:
+        """Push a follow-up trigger (a rebuild's completion) mid-run."""
+        self.events.push(time_ns, _RECONFIG, ev)
+
+    def provision_shard(self, service: ServiceModel) -> int:
+        """Bring up a brand-new shard (a split's upper half): fresh
+        replicas serving the parent's index, fresh stats row, and a
+        widened telemetry collector.  Returns the new shard id --
+        existing ids never shift."""
+        sid = len(self.replicas)
+        row = []
+        for rid in range(self.cluster.n_replicas):
+            loop = _EventLoop(
+                service, self.cluster.n_cores, events=self.events
+            )
+            rep = _Replica(shard=sid, rid=rid, loop=loop)
+            loop.on_finish = self._make_completion_hook(rep)
+            row.append(rep)
+        self.replicas.append(row)
+        self.shard_stats.append(ShardStats(shard=sid))
+        if self.telemetry is not None:
+            self.telemetry.grow(sid + 1)
+        return sid
+
+    def provision_replica(self, shard: int, service: ServiceModel) -> None:
+        """Autoscale-up: append one fresh replica to a shard's row."""
+        row = self.replicas[shard]
+        loop = _EventLoop(service, self.cluster.n_cores, events=self.events)
+        rep = _Replica(shard=shard, rid=len(row), loop=loop)
+        loop.on_finish = self._make_completion_hook(rep)
+        row.append(rep)
+
+    def retire_shard(self, shard: int) -> None:
+        """Graceful decommission (a merge's orphan): every replica leaves
+        the rotation for good; queued work completes, new traffic
+        re-resolves to the surviving owner."""
+        for rep in self.replicas[shard]:
+            rep.retired = True
+            rep.up = False
 
     # -- dispatch path ------------------------------------------------------
 
@@ -379,6 +487,8 @@ class _ClusterSim:
             self.shard_stats[record.shard].completed += 1
             if now > self.makespan:
                 self.makespan = now
+            if self.reconfig is not None:
+                self.reconfig.note_completion(record.shard, record.latency_ns)
             if tel is not None:
                 cls, slo = self._telemetry_class(record)
                 tel.on_completed(
@@ -399,6 +509,11 @@ class _ClusterSim:
         hedge: bool = False,
         cause: str = "arrival",
     ) -> bool:
+        if self.reconfig is not None and not hedge:
+            # Key-range handoff: a request routed under a stale epoch is
+            # re-resolved against the current map before dispatch (a
+            # hedge intentionally stays on its primary's shard).
+            self.reconfig.resolve(record)
         replicas = self.replicas[record.shard]
         rep = pick_replica(replicas, exclude=exclude)
         if rep is None:
@@ -518,10 +633,16 @@ class _ClusterSim:
     def on_fault_end(self, event: FaultEvent, now: float) -> None:
         rep = self.replicas[event.shard][event.replica]
         if event.kind == CRASH:
-            rep.up = True  # recovers empty; queues were drained at crash
+            # Recovers empty (queues were drained at crash) -- unless it
+            # was retired or is mid-rebuild, in which case the rotation
+            # is owned by the reconfig lifecycle, not fault repair.
+            rep.up = not (rep.retired or rep.rebuilding)
         else:
             rep.slow = False
             rep.loop.slow_factor = 1.0
+
+    def on_reconfig(self, ev: ReconfigEvent, now: float) -> None:
+        self.reconfig.on_event(ev, now)
 
     def _drain_crashed(self, rep: _Replica, now: float) -> None:
         """Cancel every attempt on a crashed replica and retry elsewhere.
@@ -566,6 +687,7 @@ class _ClusterSim:
             _FLUSH: self.on_flush,
             _FAULT_BEGIN: self.on_fault_begin,
             _FAULT_END: self.on_fault_end,
+            _RECONFIG: self.on_reconfig,
         }
         while self.events:
             now, kind, _, payload = self.events.pop()
@@ -595,6 +717,26 @@ class _ClusterSim:
             traces=(
                 self.telemetry.trace_tuple()
                 if self.telemetry is not None
+                else None
+            ),
+            epochs=(
+                tuple(self.reconfig.epochs)
+                if self.reconfig is not None
+                else None
+            ),
+            rebuilds=(
+                tuple(self.reconfig.rebuilds)
+                if self.reconfig is not None
+                else None
+            ),
+            scale_events=(
+                tuple(self.reconfig.scale_events)
+                if self.reconfig is not None
+                else None
+            ),
+            live_replicas=(
+                self.reconfig.live_replicas()
+                if self.reconfig is not None
                 else None
             ),
         )

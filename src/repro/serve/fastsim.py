@@ -102,6 +102,13 @@ class SealedEventQueue:
     and payloads are never compared.  Popping the minimum of the two
     streams yields the same event order as a single heap, hence
     byte-identical simulations.
+
+    Reconfiguration triggers (:mod:`repro.serve.reconfig`) need no
+    special casing: the declarative schedule rides the static batch
+    alongside arrivals and faults, and runtime-emitted follow-ups (a
+    rebuild's completion, like retries and hedges) land on the side
+    heap -- the total order, and therefore the bytes, match the event
+    engine either way.
     """
 
     __slots__ = ("_static", "_cursor", "_heap", "_seq", "_sealed")

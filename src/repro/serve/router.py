@@ -80,6 +80,57 @@ class ShardMap:
         np.maximum(idx, 0, out=idx)
         return idx.tolist()
 
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ShardMap):
+            return NotImplemented
+        return self._bounds == other._bounds
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._bounds))
+
+    def __repr__(self) -> str:
+        return f"ShardMap({self._bounds!r})"
+
+    def split(self, shard: int, at_key: int) -> "ShardMap":
+        """Split range ``shard`` at ``at_key`` into two adjacent ranges.
+
+        The new range ``[at_key, old upper bound)`` is inserted directly
+        after ``shard``; ``at_key`` must fall strictly inside the range
+        being split so both halves stay non-empty.  Pure: returns a new
+        map, never mutates.
+        """
+        at_key = int(at_key)
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(f"no shard {shard} in a {self.n_shards}-map")
+        if at_key <= self._bounds[shard]:
+            raise ValueError(
+                f"split key {at_key} not above shard {shard} lower bound "
+                f"{self._bounds[shard]}"
+            )
+        if shard + 1 < self.n_shards and at_key >= self._bounds[shard + 1]:
+            raise ValueError(
+                f"split key {at_key} not below shard {shard} upper bound "
+                f"{self._bounds[shard + 1]}"
+            )
+        bounds = list(self._bounds)
+        bounds.insert(shard + 1, at_key)
+        return ShardMap(bounds)
+
+    def merge(self, shard: int) -> "ShardMap":
+        """Merge range ``shard`` with its right neighbour ``shard + 1``.
+
+        Inverse of :meth:`split`: ``m.split(s, k).merge(s) == m`` for any
+        valid split.  Pure: returns a new map, never mutates.
+        """
+        if not 0 <= shard < self.n_shards - 1:
+            raise ValueError(
+                f"shard {shard} has no right neighbour in a "
+                f"{self.n_shards}-map"
+            )
+        bounds = list(self._bounds)
+        del bounds[shard + 1]
+        return ShardMap(bounds)
+
     @classmethod
     def from_keys(cls, keys: Sequence[int], n_shards: int) -> "ShardMap":
         """Equal-count split of a sorted key array into ``n_shards`` ranges.

@@ -48,6 +48,7 @@ from repro.serve.arrivals import (
     poisson_arrivals,
 )
 from repro.serve.faults import FaultConfig
+from repro.serve.reconfig import ReconfigSpec
 from repro.serve.router import RouterPolicy
 
 #: Bump when spec semantics change meaning (new fields with changed
@@ -502,6 +503,10 @@ class ScenarioSpec:
     #: Fault-schedule horizon override (ns); None = the simulator's
     #: default (last arrival plus 25% drain slack).
     fault_horizon_ns: Optional[float] = None
+    #: Live-reconfiguration plan (:mod:`repro.serve.reconfig`); None
+    #: keeps the spec's serialized form -- and every derived content
+    #: key -- exactly as before the field existed.
+    reconfig: Optional[ReconfigSpec] = None
 
     def __post_init__(self):
         if not self.name:
@@ -530,7 +535,7 @@ class ScenarioSpec:
         raise KeyError(f"no tenant named {name!r}")
 
     def to_dict(self) -> dict:
-        return {
+        d = {
             "schema": SCENARIO_SCHEMA_VERSION,
             "name": self.name,
             "tenants": [t.to_dict() for t in self.tenants],
@@ -540,6 +545,11 @@ class ScenarioSpec:
             "admission": self.admission.to_dict(),
             "fault_horizon_ns": self.fault_horizon_ns,
         }
+        # Only a set plan changes the serialized form (and thereby the
+        # content/cache keys); specs without one hash as they always did.
+        if self.reconfig is not None:
+            d["reconfig"] = self.reconfig.to_dict()
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "ScenarioSpec":
@@ -562,6 +572,11 @@ class ScenarioSpec:
                 if d.get("fault_horizon_ns") is None
                 else float(d["fault_horizon_ns"])
             ),
+            reconfig=(
+                None
+                if d.get("reconfig") is None
+                else ReconfigSpec.from_dict(d["reconfig"])
+            ),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -581,6 +596,12 @@ class ScenarioSpec:
     def with_admission(self, admission: AdmissionSpec) -> "ScenarioSpec":
         """The same scenario under a different admission policy."""
         return replace(self, admission=admission)
+
+    def with_reconfig(
+        self, reconfig: Optional[ReconfigSpec]
+    ) -> "ScenarioSpec":
+        """The same scenario under a different reconfiguration plan."""
+        return replace(self, reconfig=reconfig)
 
 
 def single_tenant_spec(

@@ -268,8 +268,14 @@ class ClusterTask:
     faults: Optional[Tuple[Tuple[str, object], ...]]
     fault_horizon_ns: Optional[float]
     telemetry: Optional[Tuple[Tuple[str, object], ...]] = None
+    #: Canonical :class:`~repro.serve.reconfig.ReconfigSpec` JSON; None
+    #: (or a trigger-free spec, normalized away by :func:`cluster_task`)
+    #: leaves the cache key exactly as before the field existed.
+    reconfig: Optional[str] = None
 
     def key_fields(self) -> dict:
+        import json
+
         fields = {
             "kind": "cluster",
             "per_shard_counters": [dict(c) for c in self.per_shard_counters],
@@ -288,11 +294,14 @@ class ClusterTask:
         }
         if self.telemetry is not None:
             fields["telemetry"] = _pairs(self.telemetry)
+        if self.reconfig is not None:
+            fields["reconfig"] = json.loads(self.reconfig)
         return fields
 
     def run(self) -> dict:
         from repro.serve.cluster import Cluster, simulate_cluster
         from repro.serve.faults import FaultConfig
+        from repro.serve.reconfig import ReconfigSpec
         from repro.serve.router import RouterPolicy, ShardMap
 
         machine = _thaw_machine(self.machine)
@@ -309,6 +318,11 @@ class ClusterTask:
                 None
                 if self.faults is None
                 else FaultConfig(**dict(self.faults))
+            ),
+            reconfig=(
+                None
+                if self.reconfig is None
+                else ReconfigSpec.from_json(self.reconfig)
             ),
         )
         arrivals = poisson_arrivals(
@@ -438,8 +452,13 @@ def cluster_task(
     machine: MachineModel = MachineModel(),
     fence: bool = False,
     telemetry: Optional[TelemetryConfig] = None,
+    reconfig=None,
 ) -> ClusterTask:
-    """The task one :func:`~repro.serve.cluster.simulate_cluster` run is."""
+    """The task one :func:`~repro.serve.cluster.simulate_cluster` run is.
+
+    A ``reconfig`` that is None *or has no triggers* freezes to None, so
+    attaching a no-op spec never perturbs cache keys.
+    """
     from repro.bench.cells import freeze_counters
 
     return ClusterTask(
@@ -459,6 +478,11 @@ def cluster_task(
         faults=_freeze_faults(faults),
         fault_horizon_ns=fault_horizon_ns,
         telemetry=freeze_telemetry(telemetry),
+        reconfig=(
+            None
+            if reconfig is None or not reconfig.enabled
+            else reconfig.to_json()
+        ),
     )
 
 
@@ -549,6 +573,12 @@ class ClusterRunStats:
     makespan_ns: float
     summary: Optional[LatencySummary]
     shard_stats: List[ShardRunStats]
+    #: Reconfig topology outcome (static runs: 1 epoch, initial counts).
+    #: ``final_replicas`` 0 marks a pre-reconfig record, whose replica
+    #: count is unrecoverable; the gauge is skipped for those.
+    epoch_count: int = 1
+    final_shards: int = 0
+    final_replicas: int = 0
 
     @property
     def availability(self) -> float:
@@ -582,6 +612,9 @@ class ClusterRunStats:
                 )
                 for st in result.shard_stats
             ],
+            epoch_count=result.epoch_count,
+            final_shards=result.final_shards,
+            final_replicas=result.final_replicas,
         )
 
     def to_record(self) -> dict:
@@ -609,6 +642,9 @@ class ClusterRunStats:
                 }
                 for st in self.shard_stats
             ],
+            "epoch_count": self.epoch_count,
+            "final_shards": self.final_shards,
+            "final_replicas": self.final_replicas,
         }
 
     @classmethod
@@ -638,6 +674,13 @@ class ClusterRunStats:
                 )
                 for st in record["shard_stats"]
             ],
+            # Records written before the reconfig fields existed fall
+            # back to "static run" (and 0 = unknown replica count).
+            epoch_count=int(record.get("epoch_count", 1)),
+            final_shards=int(
+                record.get("final_shards", len(record["shard_stats"]))
+            ),
+            final_replicas=int(record.get("final_replicas", 0)),
         )
 
     def to_metrics(self, registry=None, prefix: str = "serve.cluster") -> None:
@@ -653,6 +696,10 @@ class ClusterRunStats:
         reg.counter(f"{prefix}.faults.crashes").inc(self.crashes)
         reg.counter(f"{prefix}.faults.slow").inc(self.slow_events)
         reg.gauge(f"{prefix}.availability.min").set_min(self.availability)
+        reg.gauge(f"{prefix}.shards").set(float(self.final_shards))
+        if self.final_replicas > 0:
+            reg.gauge(f"{prefix}.replicas").set(float(self.final_replicas))
+        reg.counter(f"{prefix}.epochs").inc(self.epoch_count)
         depth_hist = reg.histogram(f"{prefix}.shard_queue_depth.max")
         for st in self.shard_stats:
             depth_hist.observe(st.max_queue_depth)
@@ -706,6 +753,11 @@ class TenancyRunStats:
     makespan_ns: float
     summary: Optional[LatencySummary]
     tenants: List[TenantRunStats] = field(default_factory=list)
+    #: Cluster topology outcome (see :class:`ClusterRunStats`); lets
+    #: experiments report reconfig transitions off cached records.
+    epoch_count: int = 1
+    final_shards: int = 0
+    final_replicas: int = 0
 
     def by_name(self, name: str) -> TenantRunStats:
         for ts in self.tenants:
@@ -739,6 +791,9 @@ class TenancyRunStats:
                 )
                 for ts in result.tenants
             ],
+            epoch_count=result.cluster.epoch_count,
+            final_shards=result.cluster.final_shards,
+            final_replicas=result.cluster.final_replicas,
         )
 
     def to_record(self) -> dict:
@@ -768,6 +823,9 @@ class TenancyRunStats:
                 }
                 for ts in self.tenants
             ],
+            "epoch_count": self.epoch_count,
+            "final_shards": self.final_shards,
+            "final_replicas": self.final_replicas,
         }
 
     @classmethod
@@ -805,6 +863,9 @@ class TenancyRunStats:
                 )
                 for t in record["tenants"]
             ],
+            epoch_count=int(record.get("epoch_count", 1)),
+            final_shards=int(record.get("final_shards", 0)),
+            final_replicas=int(record.get("final_replicas", 0)),
         )
 
     def to_metrics(self, registry=None, prefix: str = "serve.tenancy") -> None:

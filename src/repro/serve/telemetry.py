@@ -396,6 +396,21 @@ class TelemetryCollector:
                 self._max = idx
         return acc
 
+    def grow(self, n_shards: int) -> None:
+        """Widen the per-shard arrays mid-run (a reconfig shard split).
+
+        Windows accumulated before the split are zero-padded for the new
+        shards; shrinking is never needed (merges retire shard ids but
+        their columns remain).  No-op when not actually growing.
+        """
+        if n_shards <= self.n_shards:
+            return
+        pad = n_shards - self.n_shards
+        for acc in self._acc.values():
+            acc.shard_completed.extend([0] * pad)
+            acc.shard_failed.extend([0] * pad)
+        self.n_shards = n_shards
+
     # -- hooks (called by the simulators; gated on `is not None`) -----------
 
     def on_completed(

@@ -329,6 +329,7 @@ def replay_trace(
         n_cores=spec.topology.n_cores,
         policy=spec.policy.to_router_policy(),
         faults=spec.faults.to_fault_config(),
+        reconfig=spec.reconfig,
     )
     horizon = spec.fault_horizon_ns
     if horizon is None:

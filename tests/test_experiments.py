@@ -31,6 +31,7 @@ def test_cli_lists_all_paper_artifacts():
     # extension experiments are explicit
     assert extras == {
         "ext1", "ext2", "ext3", "ext_serving", "ext_cluster", "ext_tenants",
+        "ext_reconfig",
     }
 
 

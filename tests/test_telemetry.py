@@ -284,3 +284,55 @@ class TestP95Gauge:
         # The neighbours it was missing between.
         assert "serve.latency.p50_ns" in names
         assert "serve.latency.p99_ns" in names
+
+
+class TestTopologyGauges:
+    """``ClusterResult.to_metrics`` exports the autoscaler's inputs and
+    outputs: shard/replica-count gauges plus an epoch counter."""
+
+    def run_cluster(self, reconfig=None):
+        from repro.serve.cluster import Cluster, simulate_cluster
+        from repro.serve.router import RouterPolicy, ShardMap
+
+        cluster = Cluster(
+            shard_map=ShardMap([0, 1000]),
+            services=[ServiceModel(counters()) for _ in range(2)],
+            n_replicas=2,
+            n_cores=2,
+            policy=RouterPolicy(),
+            faults=None,
+            reconfig=reconfig,
+        )
+        arrivals = poisson_arrivals(2e6, 200, 3)
+        keys = [(i * 13) % 2000 for i in range(200)]
+        return simulate_cluster(cluster, arrivals, keys)
+
+    def test_static_run_exports_topology(self):
+        result = self.run_cluster()
+        reg = MetricsRegistry()
+        result.to_metrics(registry=reg)
+        names = reg.names()
+        assert "serve.cluster.shards" in names
+        assert "serve.cluster.replicas" in names
+        snap = reg.snapshot()
+        assert snap["gauges"]["serve.cluster.shards"] == 2.0
+        assert snap["gauges"]["serve.cluster.replicas"] == 4.0
+        assert snap["counters"]["serve.cluster.epochs"] == 1
+
+    def test_reconfigured_run_exports_final_topology(self):
+        from repro.serve.reconfig import ReconfigSpec, SplitSpec
+
+        span_ns = 200 / 2e6 * 1e9
+        result = self.run_cluster(
+            ReconfigSpec(
+                splits=(
+                    SplitSpec(at_ns=0.3 * span_ns, shard=0, at_key=500),
+                )
+            )
+        )
+        reg = MetricsRegistry()
+        result.to_metrics(registry=reg)
+        snap = reg.snapshot()
+        assert snap["gauges"]["serve.cluster.shards"] == 3.0
+        assert snap["gauges"]["serve.cluster.replicas"] == 6.0
+        assert snap["counters"]["serve.cluster.epochs"] == 2
